@@ -1,0 +1,122 @@
+"""Ablation — naive vs Merkle-tree anti-entropy.
+
+Not a figure in the paper, but part of the substrate its evaluation runs on:
+Riak converges replicas with hashtree exchange rather than shipping every key
+every round.  This benchmark quantifies what the Merkle tree buys on this
+substrate (keys transferred per convergence) and confirms that the choice of
+anti-entropy strategy does not change any causal outcome — both strategies
+converge to identical sibling sets, only the transfer volume differs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.clocks import create
+from repro.kvstore import AntiEntropyScheduler, ClientSession, MerkleAntiEntropy, SyncReplicatedStore
+from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+
+KEY_COUNTS = [10, 50, 200]
+DIVERGENT_FRACTION = 0.1
+
+
+def build_diverged_store(keys: int, seed: int = 5):
+    """A store where replicas agree on most keys and diverge on a few."""
+    store = SyncReplicatedStore(create("dvv"), server_ids=("A", "B", "C"))
+    writer = ClientSession("writer")
+    for index in range(keys):
+        key = f"key-{index}"
+        writer.get(store, key, server_id="A")
+        writer.put(store, key, f"value-{index}", server_id="A")
+    store.converge()
+    # now diverge a fraction of the keys with fresh writes at A only
+    late = ClientSession("late-writer")
+    divergent = max(1, int(keys * DIVERGENT_FRACTION))
+    for index in range(divergent):
+        key = f"key-{index * (keys // divergent)}"
+        late.get(store, key, server_id="A")
+        late.put(store, key, f"late-{index}", server_id="A")
+    return store, divergent
+
+
+def naive_transfer_volume(keys: int) -> int:
+    """Keys shipped by the all-keys scheduler until convergence."""
+    store, _ = build_diverged_store(keys)
+    scheduler = AntiEntropyScheduler(store)
+    transferred = 0
+    while not store.is_converged():
+        source_id, target_id = scheduler.run_round()
+        transferred += len(set(store.node(source_id).storage.keys())
+                           | set(store.node(target_id).storage.keys()))
+    return transferred
+
+
+def merkle_transfer_volume(keys: int) -> int:
+    """Keys shipped by the Merkle scheduler until convergence."""
+    store, _ = build_diverged_store(keys)
+    anti_entropy = MerkleAntiEntropy(store)
+    anti_entropy.run_until_converged()
+    return anti_entropy.keys_synced
+
+
+@pytest.fixture(scope="module")
+def transfer_sweep():
+    return {
+        keys: {"naive": naive_transfer_volume(keys), "merkle": merkle_transfer_volume(keys)}
+        for keys in KEY_COUNTS
+    }
+
+
+def test_report_anti_entropy_savings(transfer_sweep, publish):
+    rows = []
+    for keys in KEY_COUNTS:
+        naive = transfer_sweep[keys]["naive"]
+        merkle = transfer_sweep[keys]["merkle"]
+        rows.append([keys, naive, merkle, round(naive / max(merkle, 1), 1)])
+    table = render_table(
+        ["keys", "naive keys transferred", "merkle keys transferred", "savings factor"],
+        rows,
+        title="Ablation — anti-entropy transfer volume until convergence (10% keys divergent)",
+    )
+    publish("ablation_anti_entropy", table)
+    for keys in KEY_COUNTS:
+        assert transfer_sweep[keys]["merkle"] <= transfer_sweep[keys]["naive"]
+    assert transfer_sweep[KEY_COUNTS[-1]]["merkle"] < transfer_sweep[KEY_COUNTS[-1]]["naive"] / 2
+
+
+def test_both_strategies_reach_identical_states():
+    naive_store, _ = build_diverged_store(40)
+    merkle_store, _ = build_diverged_store(40)
+    AntiEntropyScheduler(naive_store).run_until_converged()
+    MerkleAntiEntropy(merkle_store).run_until_converged()
+    for key in naive_store.write_log.keys():
+        naive_values = sorted(map(str, naive_store.values(key, "A")))
+        merkle_values = sorted(map(str, merkle_store.values(key, "A")))
+        assert naive_values == merkle_values
+
+
+@pytest.mark.parametrize("strategy", ["naive", "merkle"])
+def test_benchmark_anti_entropy(benchmark, strategy):
+    def run():
+        if strategy == "naive":
+            return naive_transfer_volume(50)
+        return merkle_transfer_volume(50)
+
+    transferred = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert transferred > 0
+
+
+@pytest.mark.parametrize("mechanism_name", ["dvv", "dvvset"])
+def test_benchmark_workload_with_merkle_convergence(benchmark, mechanism_name):
+    """End-to-end replay + Merkle convergence, per mechanism."""
+    trace = generate_workload(WorkloadConfig(clients=12, keys=6, operations=120, seed=17,
+                                             sync_every=None, final_sync=False))
+
+    def run():
+        replay = replay_trace(trace, create(mechanism_name))
+        MerkleAntiEntropy(replay.store).run_until_converged()
+        return replay
+
+    replay = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert replay.store.is_converged()

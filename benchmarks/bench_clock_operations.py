@@ -1,0 +1,137 @@
+"""Ablation — cost of the individual kernel operations per clock type.
+
+DESIGN.md calls out the server-side kernel (update / sync / join) as the part
+of the design whose cost determines the per-request overhead of each
+mechanism.  This benchmark measures those operations in isolation, so the
+end-to-end latency differences seen in E4 can be attributed: is it the bytes
+on the wire, the clock computation, or both?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import (
+    CausalHistory,
+    DVVSet,
+    Dot,
+    DottedVersionVector,
+    VersionVector,
+)
+from repro.core.dvv import join as dvv_join, sync as dvv_sync, update as dvv_update
+
+SIBLING_COUNT = 8
+SERVERS = [f"S{i}" for i in range(3)]
+
+
+def build_dvv_siblings(count=SIBLING_COUNT):
+    past = VersionVector({server: 5 for server in SERVERS})
+    return [
+        DottedVersionVector(Dot(SERVERS[index % len(SERVERS)], 6 + index // len(SERVERS)), past)
+        for index in range(count)
+    ]
+
+
+def build_dvvset(count=SIBLING_COUNT):
+    clock = DVVSet.empty()
+    for index in range(count):
+        clock = DVVSet.new("value-%d" % index).update(clock, SERVERS[index % len(SERVERS)])
+    return clock
+
+
+def build_histories(count=SIBLING_COUNT, depth=50):
+    shared = [Dot("S0", n) for n in range(1, depth)]
+    return [
+        CausalHistory(Dot(SERVERS[index % len(SERVERS)], depth + index), shared)
+        for index in range(count)
+    ]
+
+
+class TestBenchmarkDVVKernel:
+    def test_benchmark_dvv_update(self, benchmark):
+        siblings = build_dvv_siblings()
+        context = dvv_join(siblings)
+        clock = benchmark(dvv_update, context, siblings, "S0")
+        assert clock.dot.actor == "S0"
+
+    def test_benchmark_dvv_sync(self, benchmark):
+        left = build_dvv_siblings()
+        right = build_dvv_siblings()
+        merged = benchmark(dvv_sync, left, right)
+        assert merged
+
+    def test_benchmark_dvv_join(self, benchmark):
+        siblings = build_dvv_siblings()
+        context = benchmark(dvv_join, siblings)
+        assert len(context) == len(SERVERS)
+
+
+class TestBenchmarkDVVSet:
+    def test_benchmark_dvvset_update(self, benchmark):
+        stored = build_dvvset()
+        incoming = DVVSet.new_with_context(stored.join(), "new-value")
+        result = benchmark(incoming.update, stored, "S0")
+        assert result.counter("S0") > stored.counter("S0")
+
+    def test_benchmark_dvvset_sync(self, benchmark):
+        left = build_dvvset()
+        right = build_dvvset()
+        merged = benchmark(left.sync, right)
+        assert merged.entry_count() == len(SERVERS)
+
+    def test_benchmark_dvvset_join(self, benchmark):
+        stored = build_dvvset()
+        context = benchmark(stored.join)
+        assert len(context) == len(SERVERS)
+
+
+class TestBenchmarkBaselines:
+    def test_benchmark_vv_merge(self, benchmark):
+        left = VersionVector({f"client-{i}": i + 1 for i in range(64)})
+        right = VersionVector({f"client-{i}": 65 - i for i in range(64)})
+        merged = benchmark(left.merge, right)
+        assert len(merged) == 64
+
+    def test_benchmark_causal_history_merge(self, benchmark):
+        histories = build_histories()
+        merged = benchmark(histories[0].merge, histories[1])
+        assert len(merged) > 0
+
+    def test_benchmark_causal_history_compare(self, benchmark):
+        histories = build_histories()
+        result = benchmark(histories[0].compare, histories[1])
+        assert result is not None
+
+
+def test_report_kernel_costs(publish):
+    """One consolidated table of per-operation costs (microseconds)."""
+    import time
+
+    def cost(callable_, *args, iterations=3000):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            callable_(*args)
+        return (time.perf_counter() - start) / iterations * 1e6
+
+    dvv_siblings = build_dvv_siblings()
+    dvv_context = dvv_join(dvv_siblings)
+    dvvset_stored = build_dvvset()
+    dvvset_incoming = DVVSet.new_with_context(dvvset_stored.join(), "v")
+    histories = build_histories()
+    client_vv = VersionVector({f"client-{i}": i + 1 for i in range(64)})
+
+    rows = [
+        ["dvv update", round(cost(dvv_update, dvv_context, dvv_siblings, "S0"), 2)],
+        ["dvv sync", round(cost(dvv_sync, dvv_siblings, dvv_siblings), 2)],
+        ["dvv join", round(cost(dvv_join, dvv_siblings), 2)],
+        ["dvvset update", round(cost(dvvset_incoming.update, dvvset_stored, "S0"), 2)],
+        ["dvvset sync", round(cost(dvvset_stored.sync, dvvset_stored), 2)],
+        ["client VV merge (64 entries)", round(cost(client_vv.merge, client_vv), 2)],
+        ["causal history merge", round(cost(histories[0].merge, histories[1]), 2)],
+        ["causal history compare", round(cost(histories[0].compare, histories[1]), 2)],
+    ]
+    table = render_table(["operation", "cost (us)"], rows,
+                         title="Ablation — kernel operation costs")
+    publish("ablation_kernel_costs", table)
+    assert rows

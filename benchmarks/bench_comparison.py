@@ -1,0 +1,103 @@
+"""Experiment E1 — "O(1) causality verification" (Section 2, first claim).
+
+Compares the cost of deciding happens-before between two versions when the
+clocks are:
+
+* plain version vectors (component-wise comparison, O(n) in the entries),
+* dotted version vectors (single dot lookup, O(1)),
+* the Wang & Amza ordered version vectors (O(1) on single-increment chains).
+
+The sweep grows the number of vector entries; the paper's claim is that the
+DVV check stays flat while the VV check grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.clocks import OrderedVersionVector
+from repro.core import Dot, DottedVersionVector, VersionVector
+
+SIZES = [2, 8, 32, 128, 512, 2048]
+
+
+def build_version_vectors(entries: int):
+    base = VersionVector({f"actor-{index}": index + 1 for index in range(entries)})
+    newer = base.increment("actor-0")
+    return base, newer
+
+
+def build_dvvs(entries: int):
+    past = VersionVector({f"actor-{index}": index + 1 for index in range(entries)})
+    older = DottedVersionVector(Dot("actor-0", past.get("actor-0") + 1), past)
+    newer_past = older.to_version_vector()
+    newer = DottedVersionVector(Dot("actor-1", newer_past.get("actor-1") + 1), newer_past)
+    return older, newer
+
+
+def build_ordered(entries: int):
+    clock = OrderedVersionVector.empty()
+    for index in range(entries):
+        clock = clock.increment(f"actor-{index}")
+    newer = clock.increment("actor-0")
+    return clock, newer
+
+
+def time_comparisons(pairs, compare, iterations: int = 2000) -> float:
+    """Average nanoseconds per comparison over ``iterations`` repetitions."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        compare(*pairs)
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations * 1e9
+
+
+def test_report_comparison_scaling(publish):
+    rows = []
+    for size in SIZES:
+        vv_pair = build_version_vectors(size)
+        dvv_pair = build_dvvs(size)
+        ordered_pair = build_ordered(size)
+        vv_ns = time_comparisons(vv_pair, lambda a, b: a.compare(b))
+        dvv_ns = time_comparisons(dvv_pair, lambda a, b: a.happens_before(b))
+        ordered_ns = time_comparisons(ordered_pair, lambda a, b: a.dominated_by(b))
+        rows.append([size, round(vv_ns), round(dvv_ns), round(ordered_ns),
+                     round(vv_ns / dvv_ns, 1)])
+    table = render_table(
+        ["entries", "VV compare (ns)", "DVV happens-before (ns)",
+         "ordered-VV dominance (ns)", "VV/DVV ratio"],
+        rows,
+        title="E1 — causality check cost vs clock size (lower is better)",
+    )
+    publish("e1_comparison_scaling", table)
+
+    # Shape assertions: the VV cost grows ~linearly with entries; the DVV cost
+    # does not (allow generous noise margins — this is a wall-clock test).
+    small_vv = time_comparisons(build_version_vectors(SIZES[0]), lambda a, b: a.compare(b))
+    large_vv = time_comparisons(build_version_vectors(SIZES[-1]), lambda a, b: a.compare(b))
+    small_dvv = time_comparisons(build_dvvs(SIZES[0]), lambda a, b: a.happens_before(b))
+    large_dvv = time_comparisons(build_dvvs(SIZES[-1]), lambda a, b: a.happens_before(b))
+    assert large_vv > small_vv * 10
+    assert large_dvv < small_dvv * 10
+    assert large_vv > large_dvv * 5
+
+
+@pytest.mark.parametrize("size", [8, 128, 2048])
+def test_benchmark_vv_compare(benchmark, size):
+    a, b = build_version_vectors(size)
+    assert benchmark(a.compare, b).name == "BEFORE"
+
+
+@pytest.mark.parametrize("size", [8, 128, 2048])
+def test_benchmark_dvv_happens_before(benchmark, size):
+    a, b = build_dvvs(size)
+    assert benchmark(a.happens_before, b) is True
+
+
+@pytest.mark.parametrize("size", [8, 128, 2048])
+def test_benchmark_ordered_vv_dominance(benchmark, size):
+    a, b = build_ordered(size)
+    assert benchmark(a.dominated_by, b) is True

@@ -1,0 +1,62 @@
+"""Figure 1 (panels a, b, c): the paper's running example, regenerated.
+
+For each causality mechanism this benchmark replays the exact Figure 1
+interaction trace and reports the figure's qualitative content: which versions
+are visible after the concurrent client writes, what survives the server
+synchronisation, and whether the concurrent update was lost.  The timing side
+of the benchmark measures the cost of the whole replay per mechanism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.clocks import create
+from repro.workloads import run_figure1_by_name
+
+MECHANISMS = ["causal_history", "server_vv", "dvv", "dvvset", "client_vv", "dotted_vve"]
+
+PANEL = {
+    "causal_history": "Fig 1a",
+    "server_vv": "Fig 1b",
+    "dvv": "Fig 1c",
+}
+
+
+@pytest.fixture(scope="module")
+def figure1_results():
+    return {name: run_figure1_by_name(name) for name in MECHANISMS}
+
+
+def test_report_figure1(figure1_results, publish):
+    rows = []
+    for name, result in figure1_results.items():
+        rows.append([
+            f"{name} ({PANEL.get(name, '-')})",
+            ",".join(result.values_after_concurrent_writes),
+            ",".join(result.values_at_b_after_sync),
+            result.concurrency_preserved,
+            result.lost_update,
+            ",".join(result.final_values),
+        ])
+    table = render_table(
+        ["mechanism (panel)", "at A after racing writes", "at B after sync",
+         "concurrency kept", "lost update", "final"],
+        rows,
+        title="Figure 1 — two servers, two racing clients, one resolver",
+    )
+    publish("figure1", table)
+
+    assert figure1_results["dvv"].concurrency_preserved
+    assert figure1_results["causal_history"].concurrency_preserved
+    assert figure1_results["server_vv"].lost_update
+    for result in figure1_results.values():
+        assert result.final_values == ["v4"]
+
+
+@pytest.mark.parametrize("mechanism_name", MECHANISMS)
+def test_benchmark_figure1_replay(benchmark, mechanism_name):
+    """Cost of the full Figure 1 replay under each mechanism."""
+    result = benchmark(run_figure1_by_name, mechanism_name)
+    assert result.final_values == ["v4"]

@@ -1,0 +1,102 @@
+"""Experiment E4 — request latency under each mechanism.
+
+The brief announcement cites the Riak evaluation: DVVs gave "a significant
+reduction in the size of metadata, and better latency when serving requests".
+The absolute Riak numbers are not reproducible without the original testbed;
+what is reproducible is the causal chain behind them — smaller causality
+metadata means fewer bytes serialised, shipped and parsed per request.  The
+simulated cluster charges transmission time per byte (see
+``repro.network.latency.SizeDependentLatency``), so replaying the same
+closed-loop workload under each mechanism isolates exactly that effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LatencyReport, analyze_requests, measure_simulated_cluster, render_table
+from repro.clocks import create
+from repro.cluster import QuorumConfig
+from repro.kvstore import SimulatedCluster
+from repro.network import FixedLatency, SizeDependentLatency
+from repro.workloads import ClosedLoopConfig, run_closed_loop_workload
+
+MECHANISMS = ["dvvset", "dvv", "client_vv", "causal_history"]
+CLIENT_COUNTS = [4, 16, 48]
+
+
+def run_cluster(mechanism_name: str, client_count: int, stop_at_ms: float = 600.0):
+    cluster = SimulatedCluster(
+        create(mechanism_name),
+        server_ids=("n1", "n2", "n3"),
+        quorum=QuorumConfig(n=3, r=2, w=2),
+        latency=SizeDependentLatency(base=FixedLatency(0.25), bytes_per_ms=600.0),
+        anti_entropy_interval_ms=50.0,
+        seed=1000 + client_count,
+    )
+    config = ClosedLoopConfig(keys=("hot-key",), think_time_ms=4.0,
+                              write_fraction=0.6, stop_at_ms=stop_at_ms)
+    run_closed_loop_workload(cluster, client_count=client_count, config=config)
+    report = analyze_requests(mechanism_name, cluster.all_request_records(),
+                              duration_ms=stop_at_ms)
+    metadata = measure_simulated_cluster(cluster)
+    return report, metadata, cluster
+
+
+@pytest.fixture(scope="module")
+def latency_sweep():
+    results = {}
+    for client_count in CLIENT_COUNTS:
+        for name in MECHANISMS:
+            results[(client_count, name)] = run_cluster(name, client_count)
+    return results
+
+
+def test_report_latency(latency_sweep, publish):
+    rows = []
+    for client_count in CLIENT_COUNTS:
+        for name in MECHANISMS:
+            report, metadata, _cluster = latency_sweep[(client_count, name)]
+            rows.append([
+                client_count,
+                name,
+                report.requests,
+                round(report.overall.mean, 3),
+                round(report.overall.p95, 3),
+                round(report.mean_context_bytes, 1),
+                metadata.total_bytes,
+            ])
+    table = render_table(
+        ["clients", "mechanism", "requests", "mean ms", "p95 ms",
+         "context bytes/req", "stored metadata bytes"],
+        rows,
+        title="E4 — request latency and on-the-wire metadata (same workload, same seed)",
+    )
+    publish("e4_latency", table)
+
+    # Shape assertions at the highest concurrency level: DVV-family requests
+    # carry less metadata and are faster than per-client VVs and far faster
+    # than explicit causal histories.
+    many = CLIENT_COUNTS[-1]
+    dvv_report, dvv_meta, _ = latency_sweep[(many, "dvv")]
+    dvvset_report, dvvset_meta, _ = latency_sweep[(many, "dvvset")]
+    client_report, client_meta, _ = latency_sweep[(many, "client_vv")]
+    history_report, history_meta, _ = latency_sweep[(many, "causal_history")]
+
+    assert dvv_meta.total_bytes < client_meta.total_bytes < history_meta.total_bytes
+    assert dvv_report.mean_context_bytes < client_report.mean_context_bytes
+    assert dvv_report.overall.mean < client_report.overall.mean
+    assert dvvset_report.overall.mean <= client_report.overall.mean
+    assert dvv_report.overall.mean < history_report.overall.mean
+
+
+@pytest.mark.parametrize("mechanism_name", MECHANISMS)
+def test_benchmark_cluster_run(benchmark, mechanism_name):
+    """End-to-end simulated-cluster run cost per mechanism (16 clients)."""
+    def run():
+        report, _metadata, _cluster = run_cluster(mechanism_name, 16, stop_at_ms=250.0)
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert isinstance(report, LatencyReport)
+    assert report.requests > 0

@@ -1,0 +1,96 @@
+"""Experiment E2 — metadata size vs number of concurrent clients.
+
+The paper (and the Riak evaluation it cites) claims DVV metadata is bounded by
+the replication degree while per-client version vectors grow with the number
+of clients that ever wrote a key, and the causal-history ground truth grows
+with the total number of writes.  This benchmark replays the same many-client
+workload under each mechanism for a sweep of client counts and reports the
+per-key metadata footprint (entries and encoded bytes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure_sync_store, render_table
+from repro.clocks import create
+from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+
+CLIENT_COUNTS = [2, 8, 32, 96]
+MECHANISMS = ["dvv", "dvvset", "client_vv", "client_vv_pruned_10", "causal_history"]
+
+
+def build_workload(clients: int):
+    return generate_workload(WorkloadConfig(
+        clients=clients,
+        servers=("A", "B", "C"),
+        keys=1,
+        operations=max(40, clients * 4),
+        read_probability=0.4,
+        stale_read_probability=0.3,
+        seed=2012 + clients,
+    ))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for clients in CLIENT_COUNTS:
+        trace = build_workload(clients)
+        for name in MECHANISMS:
+            replay = replay_trace(trace, create(name))
+            replay.store.converge()
+            results[(clients, name)] = measure_sync_store(replay.store)
+    return results
+
+
+def test_report_metadata_sweep(sweep, publish):
+    rows = []
+    for clients in CLIENT_COUNTS:
+        for name in MECHANISMS:
+            report = sweep[(clients, name)]
+            rows.append([
+                clients,
+                name,
+                round(report.per_key_entries.mean, 1),
+                report.max_entries_per_key,
+                round(report.per_key_bytes.mean, 1),
+            ])
+    table = render_table(
+        ["clients", "mechanism", "entries/key (mean)", "entries/key (max)", "bytes/key (mean)"],
+        rows,
+        title="E2 — causality metadata per key vs number of writing clients",
+    )
+    publish("e2_metadata_size", table)
+
+    # Shape assertions (who grows, who stays bounded).
+    few, many = CLIENT_COUNTS[0], CLIENT_COUNTS[-1]
+    client_vv_growth = (sweep[(many, "client_vv")].max_entries_per_key
+                        / max(sweep[(few, "client_vv")].max_entries_per_key, 1))
+    dvv_growth = (sweep[(many, "dvv")].max_entries_per_key
+                  / max(sweep[(few, "dvv")].max_entries_per_key, 1))
+    assert client_vv_growth > 2.0, "client VVs should grow with #clients"
+    assert dvv_growth < client_vv_growth, "DVV growth must be slower than client VVs"
+    # At the largest client count, DVV metadata is significantly smaller.
+    assert (sweep[(many, "client_vv")].total_bytes
+            > 1.5 * sweep[(many, "dvv")].total_bytes)
+    # DVVSet is at least as compact as per-sibling DVVs.
+    assert (sweep[(many, "dvvset")].total_entries
+            <= sweep[(many, "dvv")].total_entries)
+    # The causal-history ground truth is the largest exact representation.
+    assert (sweep[(many, "causal_history")].total_bytes
+            >= sweep[(many, "dvv")].total_bytes)
+
+
+@pytest.mark.parametrize("mechanism_name", MECHANISMS)
+def test_benchmark_workload_replay(benchmark, mechanism_name):
+    """Replay cost of the 32-client workload under each mechanism."""
+    trace = build_workload(32)
+
+    def run():
+        replay = replay_trace(trace, create(mechanism_name))
+        replay.store.converge()
+        return replay
+
+    replay = benchmark(run)
+    assert len(replay.store.write_log) > 0

@@ -1,0 +1,115 @@
+"""Experiment E6 — related-work baselines (Section 3 of the paper).
+
+Two comparisons:
+
+* **WinFS-style dotted VVEs** vs DVVs on the interleaved two-server workload:
+  both are causally exact, but the VVE causal pasts accumulate exceptions
+  under interleaving, so their metadata footprint is larger — supporting the
+  paper's remark that the extra expressive power of VVEs is unnecessary for
+  this storage model.
+* **Wang & Amza ordered version vectors**: O(1) dominance checks like DVVs,
+  but the O(1) rule breaks whenever vectors are produced by merges, and the
+  representation still cannot distinguish concurrent client writes through the
+  same server (it is a plain VV underneath).  We measure how often the O(1)
+  path has to fall back to the full comparison on a merge-heavy history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_store, measure_sync_store, render_table
+from repro.clocks import OrderedVersionVector, create
+from repro.workloads import interleaved_two_server_trace, replay_trace
+
+MECHANISMS = ["dvv", "dvvset", "dotted_vve", "client_vv", "causal_history"]
+
+
+@pytest.fixture(scope="module")
+def interleaved_results():
+    trace = interleaved_two_server_trace(pairs=12)
+    results = {}
+    for name in MECHANISMS:
+        replay = replay_trace(trace, create(name))
+        replay.store.converge()
+        results[name] = {
+            "metadata": measure_sync_store(replay.store),
+            "correctness": check_store(replay.store),
+        }
+    return results
+
+
+def test_report_related_work_metadata(interleaved_results, publish):
+    rows = []
+    for name in MECHANISMS:
+        metadata = interleaved_results[name]["metadata"]
+        correctness = interleaved_results[name]["correctness"]
+        rows.append([
+            name,
+            metadata.total_entries,
+            metadata.total_bytes,
+            correctness.total_lost_updates,
+            correctness.total_false_concurrency,
+        ])
+    table = render_table(
+        ["mechanism", "entries (total)", "bytes (total)", "lost updates", "false concurrency"],
+        rows,
+        title="E6 — interleaved two-server workload: DVV vs WinFS-style VVE vs baselines",
+    )
+    publish("e6_related_work", table)
+
+    dvv = interleaved_results["dvv"]
+    vve = interleaved_results["dotted_vve"]
+    assert dvv["correctness"].is_correct
+    assert vve["correctness"].is_correct
+    assert vve["metadata"].total_bytes >= dvv["metadata"].total_bytes
+
+
+def ordered_vv_fallback_rate(chain_length: int = 200, merge_every: int = 4):
+    """Fraction of dominance checks that could not use the O(1) rule."""
+    versions = [OrderedVersionVector.empty().increment("A")]
+    for index in range(1, chain_length):
+        previous = versions[-1]
+        if index % merge_every == 0:
+            sibling = previous.increment(f"writer-{index % 7}")
+            merged = previous.merge(sibling)
+            versions.append(merged)
+        else:
+            versions.append(previous.increment(f"writer-{index % 7}"))
+    checks = 0
+    fallbacks_before = sum(v.fallback_comparisons for v in versions)
+    for older, newer in zip(versions, versions[1:]):
+        older.dominated_by(newer)
+        checks += 1
+    fallbacks_after = sum(v.fallback_comparisons for v in versions)
+    return (fallbacks_after - fallbacks_before) / checks
+
+
+def test_report_ordered_vv_fallbacks(publish):
+    rows = []
+    for merge_every in (2, 4, 8, 1000):
+        rate = ordered_vv_fallback_rate(merge_every=merge_every)
+        label = f"merge every {merge_every}" if merge_every < 1000 else "no merges"
+        rows.append([label, round(rate, 3)])
+    table = render_table(
+        ["history shape", "O(1)-rule fallback rate"],
+        rows,
+        title="E6 — ordered version vectors: how often the O(1) comparison degrades",
+    )
+    publish("e6_ordered_vv_fallbacks", table)
+
+    assert ordered_vv_fallback_rate(merge_every=1000) == 0.0
+    assert ordered_vv_fallback_rate(merge_every=2) > ordered_vv_fallback_rate(merge_every=8)
+
+
+@pytest.mark.parametrize("mechanism_name", ["dvv", "dotted_vve"])
+def test_benchmark_interleaved_replay(benchmark, mechanism_name):
+    trace = interleaved_two_server_trace(pairs=12)
+
+    def run():
+        replay = replay_trace(trace, create(mechanism_name))
+        replay.store.converge()
+        return replay
+
+    replay = benchmark(run)
+    assert replay.store.is_converged()

@@ -1,0 +1,84 @@
+"""Experiment E5 — sibling counts under concurrent client writes.
+
+Section 2's storage discussion: per-server VVs cannot represent versions
+written concurrently through the same server, so they either falsely order
+them (losing siblings) or would have to keep everything; DVVs keep exactly the
+concurrent versions.  This benchmark runs the concurrent-writers scenario for
+a sweep of writer counts and compares each mechanism's surviving sibling count
+against the ground-truth number of concurrent versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_store, render_table
+from repro.clocks import create
+from repro.workloads import concurrent_writers_trace, replay_trace
+
+WRITER_COUNTS = [2, 4, 8, 16, 32]
+MECHANISMS = ["dvv", "dvvset", "client_vv", "server_vv", "causal_history"]
+
+
+def surviving_siblings(mechanism_name: str, writers: int) -> dict:
+    trace = concurrent_writers_trace(writers=writers)
+    replay = replay_trace(trace, create(mechanism_name))
+    replay.store.converge()
+    replica = replay.store.replicas_for("contested")[0]
+    report = check_store(replay.store)
+    return {
+        "siblings": len(replay.store.siblings("contested", replica)),
+        "expected": len(replay.store.write_log.latest_frontier("contested")),
+        "lost": report.total_lost_updates,
+        "false_concurrency": report.total_false_concurrency,
+    }
+
+
+@pytest.fixture(scope="module")
+def sibling_sweep():
+    return {
+        (writers, name): surviving_siblings(name, writers)
+        for writers in WRITER_COUNTS
+        for name in MECHANISMS
+    }
+
+
+def test_report_sibling_counts(sibling_sweep, publish):
+    rows = []
+    for writers in WRITER_COUNTS:
+        for name in MECHANISMS:
+            outcome = sibling_sweep[(writers, name)]
+            rows.append([
+                writers,
+                name,
+                outcome["expected"],
+                outcome["siblings"],
+                outcome["lost"],
+                outcome["false_concurrency"],
+            ])
+    table = render_table(
+        ["writers", "mechanism", "ground-truth siblings", "surviving siblings",
+         "lost updates", "false concurrency"],
+        rows,
+        title="E5 — concurrent writers racing on one key (after convergence)",
+    )
+    publish("e5_siblings", table)
+
+    for writers in WRITER_COUNTS:
+        expected = sibling_sweep[(writers, "dvv")]["expected"]
+        assert expected == writers
+        # Exact mechanisms keep exactly the concurrent versions.
+        for name in ("dvv", "dvvset", "client_vv", "causal_history"):
+            assert sibling_sweep[(writers, name)]["siblings"] == expected, name
+            assert sibling_sweep[(writers, name)]["lost"] == 0
+        # Per-server VVs lose siblings as soon as more than one client races
+        # through the same coordinator.
+        if writers > len(("A", "B", "C")):
+            assert sibling_sweep[(writers, "server_vv")]["siblings"] < expected
+            assert sibling_sweep[(writers, "server_vv")]["lost"] > 0
+
+
+@pytest.mark.parametrize("mechanism_name", MECHANISMS)
+def test_benchmark_concurrent_writers(benchmark, mechanism_name):
+    result = benchmark(surviving_siblings, mechanism_name, 16)
+    assert result["expected"] == 16

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Figure 1, executed: causal histories vs per-server VVs vs DVVs.
+
+Replays the exact client/server interaction of the paper's Figure 1 under
+three causality mechanisms and prints, step by step, which versions each
+server holds — the same information the figure annotates next to each event —
+plus the verdict of the ground-truth oracle.
+
+Run with::
+
+    python examples/figure1_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_store, render_table
+from repro.clocks import create
+from repro.workloads import figure1_trace, replay_trace, run_figure1_by_name
+
+PANELS = [
+    ("causal_history", "Figure 1a — causal histories (ground truth)"),
+    ("server_vv", "Figure 1b — version vectors, one entry per server"),
+    ("dvv", "Figure 1c — dotted version vectors"),
+]
+
+
+def main() -> None:
+    for mechanism_name, title in PANELS:
+        result = run_figure1_by_name(mechanism_name)
+        rows = [
+            [step.label, ",".join(step.values_at_a) or "-", ",".join(step.values_at_b) or "-"]
+            for step in result.steps
+        ]
+        print()
+        print(render_table(["step", "server A holds", "server B holds"], rows, title=title))
+        print(f"  concurrent writes preserved: {result.concurrency_preserved}")
+        print(f"  update lost:                 {result.lost_update}")
+        print(f"  final value everywhere:      {result.final_values}")
+
+    # The oracle's summary across all mechanisms in the library.
+    print()
+    rows = []
+    for name in ("causal_history", "server_vv", "dvv", "dvvset", "client_vv", "dotted_vve"):
+        report = check_store(replay_trace(figure1_trace(), create(name)).store)
+        rows.append([name, report.total_lost_updates, report.total_false_concurrency,
+                     report.is_correct])
+    print(render_table(
+        ["mechanism", "lost updates", "false concurrency", "correct"],
+        rows,
+        title="Oracle verdict on the Figure 1 trace",
+    ))
+
+
+if __name__ == "__main__":
+    main()

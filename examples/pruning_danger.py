@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Why pruning client version vectors is unsafe — and what DVVs buy instead.
+
+Systems that tag versions with one vector entry per client must bound the
+vector somehow; Riak's historical answer was to prune entries once the vector
+grew past a threshold.  The paper calls this "unsafe, possibly leading to lost
+updates and/or to the introduction of false concurrency".  This example makes
+the damage concrete: one many-client workload is replayed with
+
+* exact per-client version vectors (safe, unbounded),
+* pruned per-client version vectors at several thresholds (bounded, unsafe),
+* dotted version vectors (bounded by the number of replicas *and* safe).
+
+For each run the ground-truth oracle reports lost updates and false
+concurrency, and the metadata accountant reports the footprint achieved.
+
+Run with::
+
+    python examples/pruning_danger.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_store, measure_sync_store, render_table
+from repro.clocks import create
+from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+
+MECHANISMS = [
+    ("client_vv", "exact per-client VV"),
+    ("client_vv_pruned_20", "pruned at 20 entries"),
+    ("client_vv_pruned_10", "pruned at 10 entries"),
+    ("client_vv_pruned_5", "pruned at 5 entries"),
+    ("dvv", "dotted version vectors"),
+]
+
+
+def main() -> None:
+    trace = generate_workload(WorkloadConfig(
+        clients=48,
+        servers=("A", "B", "C"),
+        keys=2,
+        operations=400,
+        read_probability=0.4,
+        stale_read_probability=0.35,
+        blind_write_probability=0.05,
+        seed=41,
+    ))
+    print(f"workload: {len(trace)} operations, {len(trace.clients())} clients, "
+          f"{len(trace.keys())} keys, 3 replica servers")
+    print()
+
+    rows = []
+    for name, description in MECHANISMS:
+        replay = replay_trace(trace, create(name))
+        replay.store.converge()
+        correctness = check_store(replay.store)
+        metadata = measure_sync_store(replay.store)
+        rows.append([
+            description,
+            metadata.max_entries_per_key,
+            round(metadata.per_key_bytes.mean, 1),
+            correctness.total_lost_updates,
+            correctness.total_false_concurrency,
+            correctness.is_correct,
+        ])
+    print(render_table(
+        ["mechanism", "entries/key (max)", "bytes/key (mean)",
+         "lost updates", "false concurrency", "safe"],
+        rows,
+        title="Bounding causality metadata: pruning vs dotted version vectors",
+    ))
+    print()
+    print("Pruning does bound the vector, but the bound is bought with causal")
+    print("damage that grows as the threshold shrinks.  Dotted version vectors")
+    print("get a tighter bound (one entry per replica server plus the dot) with")
+    print("no damage at all, because the identifier space is the small, stable")
+    print("set of servers rather than the open-ended set of clients.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The Dynamo shopping cart, with dotted version vectors underneath.
+
+The motivating workload of multi-version key-value stores: a user's shopping
+cart is updated from several devices (browser, phone) that race with each
+other.  The store must never silently drop an item added concurrently; when it
+detects concurrent versions it keeps them as *siblings* and lets the
+application merge them (here: set union).
+
+This example runs the scenario on the synchronous replicated store with the
+DVV mechanism, then repeats the decisive step under the per-server-VV baseline
+to show the dropped item, mirroring the paper's Figure 1 but phrased as the
+shopping-cart workload its introduction alludes to.
+
+Run with::
+
+    python examples/shopping_cart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.clocks import DVVMechanism, ServerVVMechanism
+from repro.kvstore import ClientSession, SyncReplicatedStore, UnionMerge, resolve_and_writeback
+
+
+def run_cart(mechanism, label: str):
+    store = SyncReplicatedStore(mechanism, server_ids=("A", "B"))
+    laptop = ClientSession("laptop")
+    phone = ClientSession("phone")
+    checkout = ClientSession("checkout-service")
+
+    # The user adds a book from the laptop.
+    laptop.get(store, "cart", server_id="A")
+    laptop.put(store, "cart", ["book"], server_id="A")
+
+    # Both devices load the cart (each now holds the same causal context).
+    laptop.get(store, "cart", server_id="A")
+    phone.get(store, "cart", server_id="A")
+
+    # Concurrently: the laptop adds headphones, the phone adds a charger.
+    laptop.put(store, "cart", ["book", "headphones"], server_id="A")
+    phone.put(store, "cart", ["book", "charger"], server_id="A")
+
+    at_coordinator = [sorted(v) for v in store.values("cart", "A")]
+
+    # The cart replica on server B receives the versions by anti-entropy.
+    store.sync_key("cart", "A", "B")
+    at_replica = [sorted(v) for v in store.values("cart", "B")]
+
+    # The checkout service reads the cart at B, merges the siblings (set
+    # union) and writes the merged cart back with the read's context.
+    merged = resolve_and_writeback(store, "cart", checkout, UnionMerge())
+    store.sync_key("cart", "B", "A")
+    final = [sorted(v) for v in store.values("cart", "A")]
+
+    return {
+        "label": label,
+        "siblings at coordinator": at_coordinator,
+        "siblings at replica B": at_replica,
+        "merged cart": sorted(merged) if merged else merged,
+        "final value at A": final,
+    }
+
+
+def main() -> None:
+    dvv_outcome = run_cart(DVVMechanism(), "dotted version vectors")
+    server_vv_outcome = run_cart(ServerVVMechanism(), "per-server version vectors")
+
+    rows = []
+    for outcome in (dvv_outcome, server_vv_outcome):
+        rows.append([
+            outcome["label"],
+            str(outcome["siblings at coordinator"]),
+            str(outcome["siblings at replica B"]),
+            str(outcome["merged cart"]),
+        ])
+    print(render_table(
+        ["mechanism", "siblings at A", "siblings at B after sync", "cart after merge"],
+        rows,
+        title="Shopping cart updated concurrently from two devices",
+    ))
+    print()
+    if "charger" in (dvv_outcome["merged cart"] or []) and \
+            "headphones" in (dvv_outcome["merged cart"] or []):
+        print("DVV store: both concurrently-added items survived the race.")
+    missing = {"headphones", "charger"} - set(server_vv_outcome["merged cart"] or [])
+    if missing:
+        print(f"per-server VV store: the concurrently-added {sorted(missing)} "
+              "was silently dropped when the replicas synchronised — the lost "
+              "update the paper's Figure 1b illustrates.")
+
+
+if __name__ == "__main__":
+    main()

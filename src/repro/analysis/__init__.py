@@ -1,0 +1,29 @@
+"""Analysis layer: correctness oracle, metadata accounting, latency summaries."""
+
+from .correctness import CorrectnessReport, KeyCorrectness, check_key, check_store
+from .latency import LatencyReport, analyze_requests
+from .metadata import MetadataReport, compare_reports, measure_simulated_cluster, measure_sync_store
+from .report import format_cell, print_table, render_kv, render_table
+from .stats import Summary, percentile, ratio, speedup, summarize
+
+__all__ = [
+    "CorrectnessReport",
+    "KeyCorrectness",
+    "LatencyReport",
+    "MetadataReport",
+    "Summary",
+    "analyze_requests",
+    "check_key",
+    "check_store",
+    "compare_reports",
+    "format_cell",
+    "measure_simulated_cluster",
+    "measure_sync_store",
+    "percentile",
+    "print_table",
+    "ratio",
+    "render_kv",
+    "render_table",
+    "speedup",
+    "summarize",
+]

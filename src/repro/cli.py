@@ -1,0 +1,260 @@
+"""Command-line interface for the reproduction harness.
+
+The CLI wraps the library's experiment entry points so the paper's results can
+be regenerated without writing Python::
+
+    python -m repro mechanisms
+    python -m repro figure1
+    python -m repro scenario concurrent_writers --mechanism server_vv
+    python -m repro compare --clients 32 --operations 300 --seed 7
+    python -m repro cluster --mechanism dvv --clients 16 --duration-ms 500
+
+Every subcommand prints the same plain-text tables the benchmarks persist
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    analyze_requests,
+    check_store,
+    measure_simulated_cluster,
+    measure_sync_store,
+    render_table,
+)
+from .clocks import available, create
+from .cluster import QuorumConfig
+from .kvstore import SimulatedCluster
+from .network import FixedLatency, SizeDependentLatency
+from .workloads import (
+    ClosedLoopConfig,
+    WorkloadConfig,
+    generate_workload,
+    named_scenarios,
+    replay_scenario,
+    replay_trace,
+    run_closed_loop_workload,
+    run_figure1_by_name,
+)
+
+DEFAULT_COMPARISON = ["dvv", "dvvset", "client_vv", "client_vv_pruned_5", "server_vv"]
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_mechanisms(_args: argparse.Namespace) -> int:
+    """List the registered causality mechanisms."""
+    rows = []
+    for name in available():
+        mechanism = create(name)
+        rows.append([name, "yes" if mechanism.exact else "no", mechanism.describe()])
+    print(render_table(["name", "exact", "description"], rows,
+                       title="Registered causality mechanisms"))
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    """Replay the paper's Figure 1 under the selected mechanisms."""
+    mechanisms = args.mechanisms or ["causal_history", "server_vv", "dvv"]
+    rows = []
+    for name in mechanisms:
+        result = run_figure1_by_name(name)
+        rows.append([
+            name,
+            ",".join(result.values_after_concurrent_writes),
+            ",".join(result.values_at_b_after_sync),
+            result.concurrency_preserved,
+            result.lost_update,
+            ",".join(result.final_values),
+        ])
+    print(render_table(
+        ["mechanism", "at A after racing writes", "at B after sync",
+         "concurrency kept", "lost update", "final"],
+        rows,
+        title="Figure 1 replay",
+    ))
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Replay one named scenario and report the oracle's verdict."""
+    known = sorted(named_scenarios()) + ["figure1"]
+    if args.name not in known:
+        print(f"unknown scenario {args.name!r}; choose from: {', '.join(known)}",
+              file=sys.stderr)
+        return 2
+    result = replay_scenario(args.name, create(args.mechanism))
+    result.store.converge()
+    correctness = check_store(result.store)
+    metadata = measure_sync_store(result.store)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scenario", args.name],
+            ["mechanism", args.mechanism],
+            ["writes applied", len(result.store.write_log)],
+            ["keys", correctness.keys_checked],
+            ["lost updates", correctness.total_lost_updates],
+            ["false concurrency", correctness.total_false_concurrency],
+            ["metadata entries", metadata.total_entries],
+            ["metadata bytes", metadata.total_bytes],
+            ["causally correct", correctness.is_correct],
+        ],
+        title=f"Scenario {args.name!r} under {args.mechanism}",
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Replay one synthetic workload under several mechanisms and compare."""
+    config = WorkloadConfig(
+        clients=args.clients,
+        keys=args.keys,
+        operations=args.operations,
+        stale_read_probability=args.stale_reads,
+        blind_write_probability=args.blind_writes,
+        seed=args.seed,
+    )
+    trace = generate_workload(config)
+    mechanisms = args.mechanisms or DEFAULT_COMPARISON
+    rows = []
+    for name in mechanisms:
+        replay = replay_trace(trace, create(name))
+        replay.store.converge()
+        correctness = check_store(replay.store)
+        metadata = measure_sync_store(replay.store)
+        rows.append([
+            name,
+            correctness.total_lost_updates,
+            correctness.total_false_concurrency,
+            metadata.max_entries_per_key,
+            round(metadata.per_key_bytes.mean, 1),
+            correctness.is_correct,
+        ])
+    print(render_table(
+        ["mechanism", "lost updates", "false concurrency",
+         "entries/key (max)", "bytes/key (mean)", "safe"],
+        rows,
+        title=(f"Workload: {args.clients} clients, {args.operations} operations, "
+               f"{args.keys} keys, seed {args.seed}"),
+    ))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run the simulated message-passing cluster under a closed-loop workload."""
+    cluster = SimulatedCluster(
+        create(args.mechanism),
+        server_ids=tuple(f"n{i}" for i in range(args.servers)),
+        quorum=QuorumConfig(n=min(3, args.servers),
+                            r=min(2, args.servers),
+                            w=min(2, args.servers)),
+        latency=SizeDependentLatency(base=FixedLatency(0.25), bytes_per_ms=args.bytes_per_ms),
+        anti_entropy_interval_ms=50.0,
+        seed=args.seed,
+    )
+    workload = ClosedLoopConfig(
+        keys=tuple(f"key-{i}" for i in range(args.keys)),
+        think_time_ms=args.think_time_ms,
+        write_fraction=args.write_fraction,
+        stop_at_ms=args.duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=args.clients, config=workload)
+    latency = analyze_requests(args.mechanism, cluster.all_request_records(),
+                               duration_ms=args.duration_ms)
+    metadata = measure_simulated_cluster(cluster)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["mechanism", args.mechanism],
+            ["servers", args.servers],
+            ["clients", args.clients],
+            ["requests completed", latency.requests],
+            ["mean latency (ms)", round(latency.overall.mean, 3)],
+            ["p95 latency (ms)", round(latency.overall.p95, 3)],
+            ["p99 latency (ms)", round(latency.overall.p99, 3)],
+            ["throughput (req/s)", round(latency.throughput_per_s, 1)],
+            ["context bytes / request", round(latency.mean_context_bytes, 1)],
+            ["stored metadata bytes", metadata.total_bytes],
+            ["bytes on the wire", cluster.transport.stats.bytes_sent],
+        ],
+        title="Simulated cluster run",
+    ))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def _mechanism_list(value: str) -> List[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    unknown = [name for name in names if name not in available()]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown mechanism(s) {', '.join(unknown)}; known: {', '.join(available())}"
+        )
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dotted version vectors (PODC 2012) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("mechanisms", help="list registered causality mechanisms") \
+        .set_defaults(handler=cmd_mechanisms)
+
+    figure1 = subparsers.add_parser("figure1", help="replay the paper's Figure 1")
+    figure1.add_argument("--mechanisms", type=_mechanism_list, default=None,
+                         help="comma-separated mechanism names")
+    figure1.set_defaults(handler=cmd_figure1)
+
+    scenario = subparsers.add_parser("scenario", help="replay a named scenario")
+    scenario.add_argument("name", help="scenario name (see repro.workloads.named_scenarios)")
+    scenario.add_argument("--mechanism", default="dvv", choices=available())
+    scenario.set_defaults(handler=cmd_scenario)
+
+    compare = subparsers.add_parser("compare",
+                                    help="replay one synthetic workload under several mechanisms")
+    compare.add_argument("--clients", type=int, default=24)
+    compare.add_argument("--keys", type=int, default=2)
+    compare.add_argument("--operations", type=int, default=200)
+    compare.add_argument("--stale-reads", type=float, default=0.3, dest="stale_reads")
+    compare.add_argument("--blind-writes", type=float, default=0.05, dest="blind_writes")
+    compare.add_argument("--seed", type=int, default=2012)
+    compare.add_argument("--mechanisms", type=_mechanism_list, default=None)
+    compare.set_defaults(handler=cmd_compare)
+
+    cluster = subparsers.add_parser("cluster",
+                                    help="run the simulated message-passing cluster")
+    cluster.add_argument("--mechanism", default="dvv", choices=available())
+    cluster.add_argument("--servers", type=int, default=3)
+    cluster.add_argument("--clients", type=int, default=16)
+    cluster.add_argument("--keys", type=int, default=2)
+    cluster.add_argument("--duration-ms", type=float, default=500.0, dest="duration_ms")
+    cluster.add_argument("--think-time-ms", type=float, default=5.0, dest="think_time_ms")
+    cluster.add_argument("--write-fraction", type=float, default=0.6, dest="write_fraction")
+    cluster.add_argument("--bytes-per-ms", type=float, default=600.0, dest="bytes_per_ms")
+    cluster.add_argument("--seed", type=int, default=2012)
+    cluster.set_defaults(handler=cmd_cluster)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

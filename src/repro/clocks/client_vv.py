@@ -1,0 +1,124 @@
+"""Per-client version vectors — the Riak (pre-DVV) baseline.
+
+Cloud storage systems that want to track concurrency between *client* writes
+with plain version vectors give every client its own entry: a write by client
+``c`` with read context ``ctx`` is tagged ``ctx`` with ``c``'s entry
+incremented.  This is causally exact — concurrent client writes get
+incomparable vectors — but the vector grows with the number of clients that
+ever wrote the key, which is unbounded in an open system.  That growth is what
+forces systems like Riak to prune entries "optimistically", which is unsafe;
+the pruning wrapper lives in :mod:`repro.clocks.pruning` and the damage it
+causes is measured by experiment E3.
+
+``ClientVVMechanism`` is the honest (unpruned) variant: exact causality,
+unbounded metadata.  It is the paper's "inefficient" baseline in the
+metadata-size experiment (E2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core import serialization
+from ..core.version_vector import VersionVector
+from .interface import CausalityMechanism, ReadResult, Sibling
+
+ClientVVState = Tuple[Tuple[VersionVector, Sibling], ...]
+
+
+class ClientVVMechanism(CausalityMechanism[ClientVVState, VersionVector]):
+    """One version vector (keyed by client ids) per sibling."""
+
+    name = "client_vv"
+    exact = True
+
+    # ------------------------------------------------------------------ #
+    # State lifecycle
+    # ------------------------------------------------------------------ #
+    def empty_state(self) -> ClientVVState:
+        return ()
+
+    def is_empty(self, state: ClientVVState) -> bool:
+        return not state
+
+    def siblings(self, state: ClientVVState) -> List[Sibling]:
+        return [sibling for _, sibling in state]
+
+    # ------------------------------------------------------------------ #
+    # Client protocol
+    # ------------------------------------------------------------------ #
+    def empty_context(self) -> VersionVector:
+        return VersionVector.empty()
+
+    def read(self, state: ClientVVState) -> ReadResult[VersionVector]:
+        context = VersionVector.empty()
+        for clock, _ in state:
+            context = context.merge(clock)
+        return ReadResult(siblings=self.siblings(state), context=context)
+
+    def write(self,
+              state: ClientVVState,
+              context: VersionVector,
+              sibling: Sibling,
+              server_id: str,
+              client_id: str) -> ClientVVState:
+        new_clock = self._mint(context, state, client_id, sibling)
+        survivors = tuple(
+            (clock, stored) for clock, stored in state
+            if not new_clock.descends(clock)
+        )
+        return survivors + ((new_clock, sibling),)
+
+    def merge(self, state_a: ClientVVState, state_b: ClientVVState) -> ClientVVState:
+        combined: List[Tuple[VersionVector, Sibling]] = []
+        seen = set()
+        for clock, sibling in state_a + state_b:
+            key = (clock, sibling.origin_dot)
+            if key in seen:
+                continue
+            seen.add(key)
+            combined.append((clock, sibling))
+        survivors = tuple(
+            (clock, sibling) for clock, sibling in combined
+            if not any(other.dominates(clock) for other, _ in combined)
+        )
+        return tuple(sorted(survivors, key=lambda item: (sorted(item[0].items()), item[1].origin_dot)))
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _mint(self,
+              context: VersionVector,
+              state: ClientVVState,
+              client_id: str,
+              sibling: Sibling) -> VersionVector:
+        """Tag for a new write: client context with the writer's entry advanced.
+
+        The writer's counter is supplied by the *client* (its own write
+        sequence number, carried by the sibling's origin dot), which is how
+        client-side vector clocks worked in Riak before server-side ids: the
+        client guarantees its own counters are unique and increasing even when
+        it switches coordinators, so two of its writes can never collide on
+        the same vector.  The counter is additionally floored by whatever the
+        context or the stored clocks already record for this client, guarding
+        against misuse with foreign dots.
+        """
+        top = max(context.get(client_id), sibling.origin_dot.counter - 1)
+        for clock, _ in state:
+            top = max(top, clock.get(client_id))
+        return context.with_entry(client_id, top + 1)
+
+    # ------------------------------------------------------------------ #
+    # Metadata accounting
+    # ------------------------------------------------------------------ #
+    def metadata_entries(self, state: ClientVVState) -> int:
+        return sum(len(clock) for clock, _ in state)
+
+    def metadata_bytes(self, state: ClientVVState) -> int:
+        return sum(serialization.encoded_size(clock) for clock, _ in state)
+
+    def context_entries(self, context: VersionVector) -> int:
+        return len(context)
+
+    def context_bytes(self, context: VersionVector) -> int:
+        return serialization.encoded_size(context)

@@ -1,0 +1,78 @@
+"""Lamport scalar clocks.
+
+Lamport clocks are the simplest logical clock: a single integer per process,
+incremented on every local event and fast-forwarded past any timestamp seen on
+a received message.  They give a total order *consistent with* causality but
+cannot detect concurrency, which is why storage systems need (dotted) version
+vectors.  In this library Lamport clocks serve two purposes:
+
+* the discrete-event network simulator stamps messages with them so traces
+  have a deterministic, causality-consistent tiebreak order;
+* they act as the "no causality metadata" baseline in the metadata-size
+  benchmark (one integer per version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import InvalidClockError
+
+
+@dataclass(frozen=True, order=True)
+class LamportTimestamp:
+    """An immutable Lamport timestamp ``(time, actor)``.
+
+    The actor id is included as a tiebreak so that timestamps form a total
+    order even when two processes pick the same counter value.
+    """
+
+    time: int
+    actor: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidClockError(f"Lamport time must be non-negative, got {self.time}")
+        if not self.actor:
+            raise InvalidClockError("Lamport timestamp requires a non-empty actor id")
+
+
+class LamportClock:
+    """A mutable per-process Lamport clock."""
+
+    __slots__ = ("_actor", "_time")
+
+    def __init__(self, actor: str, start: int = 0) -> None:
+        if not actor:
+            raise InvalidClockError("LamportClock requires a non-empty actor id")
+        if start < 0:
+            raise InvalidClockError(f"LamportClock start must be non-negative, got {start}")
+        self._actor = actor
+        self._time = start
+
+    @property
+    def actor(self) -> str:
+        """The process this clock belongs to."""
+        return self._actor
+
+    @property
+    def time(self) -> int:
+        """The current counter value."""
+        return self._time
+
+    def tick(self) -> LamportTimestamp:
+        """Record a local event and return its timestamp."""
+        self._time += 1
+        return LamportTimestamp(self._time, self._actor)
+
+    def observe(self, other: LamportTimestamp) -> LamportTimestamp:
+        """Merge a received timestamp (message receipt) and record the receive event."""
+        self._time = max(self._time, other.time) + 1
+        return LamportTimestamp(self._time, self._actor)
+
+    def peek(self) -> LamportTimestamp:
+        """The timestamp a :meth:`tick` would produce, without advancing the clock."""
+        return LamportTimestamp(self._time + 1, self._actor)
+
+    def __repr__(self) -> str:
+        return f"LamportClock(actor={self._actor!r}, time={self._time})"

@@ -1,0 +1,164 @@
+"""Ordered version vectors (Wang & Amza, ICDCS 2009) — related-work baseline.
+
+The paper's related-work section mentions a VV variant with O(1) comparison
+time, at the cost of keeping the entries ordered (making other operations
+non-constant) and of inheriting plain VVs' inability to track concurrent
+client updates precisely.
+
+The construction implemented here follows the idea used in that line of work:
+every new version is created by incrementing exactly one entry of a vector the
+writer has fully observed.  Under that discipline, the entry that was
+incremented last is the *maximal* element of the version, and dominance
+between two versions can be decided by looking only at the other version's
+counter for that single actor:
+
+* ``a <= b``  iff  ``a[last_a] <= b[last_a]``
+
+The class tracks ``last_writer`` explicitly and keeps the entries in a list
+sorted by counter so the maximum is always at the front — insertion therefore
+costs O(n) (the trade-off the paper points out), while dominance checks cost
+O(1).  When a vector is produced by a *merge* (which breaks the
+single-increment discipline) the O(1) rule no longer applies and the class
+transparently falls back to the full O(n) comparison, recording that it did so
+(the related-work benchmark reports the fallback rate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.comparison import Ordering
+from ..core.dot import Actor
+from ..core.exceptions import InvalidClockError
+from ..core.version_vector import VersionVector
+
+
+class OrderedVersionVector:
+    """A version vector with its entries maintained in descending counter order."""
+
+    __slots__ = ("_entries", "_last_writer", "_from_merge", "fallback_comparisons")
+
+    def __init__(self,
+                 entries: Optional[Mapping[Actor, int]] = None,
+                 last_writer: Optional[Actor] = None,
+                 from_merge: bool = False) -> None:
+        clean: Dict[Actor, int] = {}
+        for actor, counter in (entries or {}).items():
+            if counter < 0:
+                raise InvalidClockError(f"counter for {actor!r} must be non-negative")
+            if counter > 0:
+                clean[actor] = counter
+        if last_writer is not None and last_writer not in clean:
+            raise InvalidClockError(f"last_writer {last_writer!r} has no entry")
+        # Entries sorted by (counter desc, actor asc): the head is the maximum.
+        self._entries: List[Tuple[Actor, int]] = sorted(
+            clean.items(), key=lambda item: (-item[1], item[0])
+        )
+        self._last_writer = last_writer
+        self._from_merge = from_merge
+        self.fallback_comparisons = 0
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "OrderedVersionVector":
+        """The zero vector."""
+        return cls()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def get(self, actor: Actor) -> int:
+        """Counter for ``actor`` (0 when absent) — O(n) scan of the ordered list."""
+        for entry_actor, counter in self._entries:
+            if entry_actor == actor:
+                return counter
+        return 0
+
+    @property
+    def last_writer(self) -> Optional[Actor]:
+        """The actor whose increment created this version (None after merges)."""
+        return self._last_writer
+
+    @property
+    def from_merge(self) -> bool:
+        """True when the vector was produced by a merge (O(1) rule unusable)."""
+        return self._from_merge
+
+    def entries(self) -> Dict[Actor, int]:
+        """Copy of the non-zero entries."""
+        return dict(self._entries)
+
+    def to_version_vector(self) -> VersionVector:
+        """Convert to a plain (unordered) version vector."""
+        return VersionVector(dict(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def increment(self, actor: Actor) -> "OrderedVersionVector":
+        """Create the successor version written by ``actor``.
+
+        Maintaining the descending order on insert is the O(n) cost the paper
+        notes ("VV entries must be kept ordered, leading to non constant time
+        for other operations").
+        """
+        entries = dict(self._entries)
+        entries[actor] = entries.get(actor, 0) + 1
+        return OrderedVersionVector(entries, last_writer=actor, from_merge=False)
+
+    def merge(self, other: "OrderedVersionVector") -> "OrderedVersionVector":
+        """Pointwise maximum; the result loses the single-writer property."""
+        entries = dict(self._entries)
+        for actor, counter in other._entries:
+            entries[actor] = max(entries.get(actor, 0), counter)
+        return OrderedVersionVector(entries, last_writer=None, from_merge=True)
+
+    # ------------------------------------------------------------------ #
+    # Comparison
+    # ------------------------------------------------------------------ #
+    def dominated_by(self, other: "OrderedVersionVector") -> bool:
+        """O(1) dominance test when the single-increment discipline holds.
+
+        ``self <= other`` is decided by comparing only the entry of
+        ``self.last_writer`` — the maximal element of ``self``.  Falls back to
+        the full comparison (and counts the fallback) when either vector came
+        from a merge.
+        """
+        if self._last_writer is not None and not other._from_merge and not self._from_merge:
+            return self.get(self._last_writer) <= other.get(self._last_writer)
+        self.fallback_comparisons += 1
+        return other.to_version_vector().descends(self.to_version_vector())
+
+    def compare(self, other: "OrderedVersionVector") -> Ordering:
+        """Four-way comparison (uses the O(1) path in both directions when valid)."""
+        forwards = self.dominated_by(other)       # self <= other
+        backwards = other.dominated_by(self)      # other <= self
+        if forwards and backwards:
+            return Ordering.EQUAL
+        if forwards:
+            return Ordering.BEFORE
+        if backwards:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    # ------------------------------------------------------------------ #
+    # Dunder / formatting
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrderedVersionVector):
+            return NotImplemented
+        return dict(self._entries) == dict(other._entries)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._entries))
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderedVersionVector(entries={dict(self._entries)!r}, "
+            f"last_writer={self._last_writer!r}, from_merge={self._from_merge})"
+        )

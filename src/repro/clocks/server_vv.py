@@ -1,0 +1,126 @@
+"""Per-server version vectors — the Figure 1b baseline (and its failure mode).
+
+Distributed file systems (Locus, Coda, Ficus) and early key-value stores tag
+each version with a version vector holding **one entry per replica server**.
+That is enough to detect divergence between servers, but — as Section 2 of the
+paper explains — it cannot identify versions written concurrently by multiple
+clients through the same server: any vector the server mints for the second
+write *dominates* the vector of the first (``[2,0] < [3,0]`` in the figure),
+so when the two versions later meet (e.g. at server B during anti-entropy) the
+genuinely concurrent sibling is silently discarded — a lost update.
+
+``ServerVVMechanism`` reproduces that behaviour faithfully:
+
+* at write time the coordinating server detects the conflict (the client's
+  context does not descend the stored versions) and keeps both siblings, but
+  the new sibling's vector already dominates the old one's;
+* at merge time versions are compared by their vectors, so the falsely
+  dominated sibling is dropped.
+
+The mechanism is registered as *inexact* — the test-suite asserts that it
+diverges from the causal-history oracle on exactly this scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core import serialization
+from ..core.version_vector import VersionVector
+from .interface import CausalityMechanism, ReadResult, Sibling
+
+ServerVVState = Tuple[Tuple[VersionVector, Sibling], ...]
+
+
+class ServerVVMechanism(CausalityMechanism[ServerVVState, VersionVector]):
+    """One version vector (keyed by server ids) per sibling."""
+
+    name = "server_vv"
+    exact = False
+
+    # ------------------------------------------------------------------ #
+    # State lifecycle
+    # ------------------------------------------------------------------ #
+    def empty_state(self) -> ServerVVState:
+        return ()
+
+    def is_empty(self, state: ServerVVState) -> bool:
+        return not state
+
+    def siblings(self, state: ServerVVState) -> List[Sibling]:
+        return [sibling for _, sibling in state]
+
+    # ------------------------------------------------------------------ #
+    # Client protocol
+    # ------------------------------------------------------------------ #
+    def empty_context(self) -> VersionVector:
+        return VersionVector.empty()
+
+    def read(self, state: ServerVVState) -> ReadResult[VersionVector]:
+        context = VersionVector.empty()
+        for clock, _ in state:
+            context = context.merge(clock)
+        return ReadResult(siblings=self.siblings(state), context=context)
+
+    def write(self,
+              state: ServerVVState,
+              context: VersionVector,
+              sibling: Sibling,
+              server_id: str,
+              client_id: str) -> ServerVVState:
+        # The server must mint a vector that is new w.r.t. everything it has
+        # already stored, so it increments its own entry on top of the join of
+        # the stored vectors and the client's context.  This is precisely the
+        # step that makes the new vector dominate concurrent siblings.
+        stored_join = VersionVector.empty()
+        for clock, _ in state:
+            stored_join = stored_join.merge(clock)
+        new_clock = stored_join.merge(context).increment(server_id)
+        # Conflict detection at the coordinator uses the client context: any
+        # stored version the client had not seen is kept as a sibling.
+        survivors = tuple(
+            (clock, stored) for clock, stored in state
+            if not context.descends(clock)
+        )
+        return survivors + ((new_clock, sibling),)
+
+    def merge(self, state_a: ServerVVState, state_b: ServerVVState) -> ServerVVState:
+        # Anti-entropy has only the vectors to go by; versions whose vector is
+        # dominated by another version's vector are discarded.  Because the
+        # coordinator's minting step above already made concurrent siblings
+        # comparable, this is where the lost update happens.
+        combined: List[Tuple[VersionVector, Sibling]] = []
+        for clock, sibling in state_a + state_b:
+            if any(clock == other and sibling.origin_dot == s.origin_dot
+                   for other, s in combined):
+                continue
+            combined.append((clock, sibling))
+        survivors = [
+            (clock, sibling) for clock, sibling in combined
+            if not any(other.dominates(clock) for other, _ in combined)
+        ]
+        # Two distinct versions can carry the *same* vector (e.g. replicas that
+        # coordinated writes independently); keep one deterministically.
+        deduped: List[Tuple[VersionVector, Sibling]] = []
+        seen_clocks = set()
+        for clock, sibling in sorted(survivors, key=lambda item: (sorted(item[0].items()), item[1].origin_dot)):
+            if clock in seen_clocks:
+                continue
+            seen_clocks.add(clock)
+            deduped.append((clock, sibling))
+        return tuple(deduped)
+
+    # ------------------------------------------------------------------ #
+    # Metadata accounting
+    # ------------------------------------------------------------------ #
+    def metadata_entries(self, state: ServerVVState) -> int:
+        return sum(len(clock) for clock, _ in state)
+
+    def metadata_bytes(self, state: ServerVVState) -> int:
+        return sum(serialization.encoded_size(clock) for clock, _ in state)
+
+    def context_entries(self, context: VersionVector) -> int:
+        return len(context)
+
+    def context_bytes(self, context: VersionVector) -> int:
+        return serialization.encoded_size(context)

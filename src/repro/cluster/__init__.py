@@ -1,0 +1,14 @@
+"""Cluster substrate: consistent hashing, membership and replica placement."""
+
+from .membership import Membership, NodeInfo, NodeStatus
+from .preference_list import PlacementService, QuorumConfig
+from .ring import ConsistentHashRing
+
+__all__ = [
+    "ConsistentHashRing",
+    "Membership",
+    "NodeInfo",
+    "NodeStatus",
+    "PlacementService",
+    "QuorumConfig",
+]

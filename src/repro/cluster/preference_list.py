@@ -1,0 +1,110 @@
+"""Replica placement: preference lists, quorum parameters and sloppy quorums.
+
+Combines the consistent-hashing ring (where a key *should* live) with the
+membership view (who is actually up) to produce the list of nodes a
+coordinator talks to for a given request, following Dynamo's rules:
+
+* the **primary preference list** is the first N distinct nodes clockwise
+  from the key's ring position;
+* with **strict quorums**, down nodes simply shrink the usable list (requests
+  may then fail to reach quorum);
+* with **sloppy quorums**, down nodes are replaced by the next nodes on the
+  ring, which accept writes on their behalf (hand-off) — this is one of the
+  ways causally concurrent versions of a key end up on different nodes and
+  must later be reconciled by the causality mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.exceptions import ConfigurationError
+from .membership import Membership
+from .ring import ConsistentHashRing
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """Replication and quorum parameters (Dynamo's N / R / W)."""
+
+    n: int = 3
+    r: int = 2
+    w: int = 2
+    sloppy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"replication factor n must be >= 1, got {self.n}")
+        if not 1 <= self.r <= self.n:
+            raise ConfigurationError(f"read quorum r must be in [1, {self.n}], got {self.r}")
+        if not 1 <= self.w <= self.n:
+            raise ConfigurationError(f"write quorum w must be in [1, {self.n}], got {self.w}")
+
+    @property
+    def overlapping(self) -> bool:
+        """True when R + W > N (read-your-writes through quorum intersection)."""
+        return self.r + self.w > self.n
+
+
+class PlacementService:
+    """Resolves keys to the replica nodes a coordinator should contact."""
+
+    def __init__(self,
+                 ring: ConsistentHashRing,
+                 membership: Membership,
+                 config: Optional[QuorumConfig] = None) -> None:
+        self.ring = ring
+        self.membership = membership
+        self.config = config or QuorumConfig()
+
+    # ------------------------------------------------------------------ #
+    # Placement queries
+    # ------------------------------------------------------------------ #
+    def primary_replicas(self, key: str) -> List[str]:
+        """The key's N primary replica homes, regardless of liveness."""
+        return self.ring.preference_list(key, self.config.n)
+
+    def active_replicas(self, key: str) -> List[str]:
+        """The replicas a coordinator should contact right now.
+
+        Strict quorums return the up subset of the primary list; sloppy
+        quorums top the list back up to N with fallback nodes further along
+        the ring.
+        """
+        primaries = self.primary_replicas(key)
+        up_primaries = [node for node in primaries if self.membership.is_up(node)]
+        if not self.config.sloppy:
+            return up_primaries
+        if len(up_primaries) == self.config.n:
+            return up_primaries
+        fallback_pool = self.ring.preference_list(key, len(self.ring))
+        result = list(up_primaries)
+        for node in fallback_pool:
+            if len(result) >= self.config.n:
+                break
+            if node in result or not self.membership.is_up(node):
+                continue
+            result.append(node)
+        return result
+
+    def coordinator_for(self, key: str) -> str:
+        """The node a client should send its request to (first active replica)."""
+        replicas = self.active_replicas(key)
+        if not replicas:
+            raise ConfigurationError(f"no active replicas available for key {key!r}")
+        return replicas[0]
+
+    def is_replica(self, key: str, node_id: str) -> bool:
+        """True iff ``node_id`` is one of the key's primary replicas."""
+        return node_id in self.primary_replicas(key)
+
+    def describe(self, key: str) -> dict:
+        """Placement snapshot for diagnostics and examples."""
+        return {
+            "key": key,
+            "primary": self.primary_replicas(key),
+            "active": self.active_replicas(key),
+            "coordinator": self.coordinator_for(key),
+            "config": self.config,
+        }

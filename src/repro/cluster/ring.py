@@ -1,0 +1,135 @@
+"""Consistent-hashing ring with virtual nodes (Dynamo/Riak style key placement).
+
+The replicated store places each key on ``N`` distinct physical nodes chosen
+by walking a consistent-hashing ring clockwise from the key's hash.  Virtual
+nodes (multiple ring positions per physical node) smooth the load.  This is
+the same placement scheme the paper's host system (Riak) uses, so the set of
+replica servers that coordinate writes for a key — the actor space of the
+dotted version vectors — is realistic: small, stable, and independent of the
+number of clients.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+
+def _hash_position(token: str) -> int:
+    """Map a token to a position on the 128-bit ring."""
+    return int.from_bytes(hashlib.md5(token.encode("utf-8")).digest(), "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hashing ring over a set of physical nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial physical node identifiers.
+    virtual_nodes:
+        Number of ring positions per physical node.  More virtual nodes give a
+        smoother key distribution at the cost of a larger ring index.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ConfigurationError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._positions: List[int] = []
+        self._position_to_node: Dict[int, str] = {}
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership of the ring
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: str) -> None:
+        """Add a physical node (and all of its virtual positions) to the ring."""
+        if not node_id:
+            raise ConfigurationError("node id must be a non-empty string")
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node {node_id!r} is already on the ring")
+        positions = []
+        for replica_index in range(self.virtual_nodes):
+            position = _hash_position(f"{node_id}#{replica_index}")
+            # Hash collisions across tokens are astronomically unlikely but
+            # would silently shadow a node; fail loudly instead.
+            if position in self._position_to_node:
+                raise ConfigurationError(f"hash collision for node {node_id!r}")
+            bisect.insort(self._positions, position)
+            self._position_to_node[position] = node_id
+            positions.append(position)
+        self._nodes[node_id] = positions
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a physical node and all of its virtual positions."""
+        positions = self._nodes.pop(node_id, None)
+        if positions is None:
+            return
+        for position in positions:
+            index = bisect.bisect_left(self._positions, position)
+            if index < len(self._positions) and self._positions[index] == position:
+                self._positions.pop(index)
+            self._position_to_node.pop(position, None)
+
+    def nodes(self) -> List[str]:
+        """Physical nodes currently on the ring, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # ------------------------------------------------------------------ #
+    # Key placement
+    # ------------------------------------------------------------------ #
+    def key_position(self, key: str) -> int:
+        """Ring position of a key."""
+        return _hash_position(f"key:{key}")
+
+    def primary(self, key: str) -> str:
+        """The physical node owning the key's primary replica."""
+        owners = self.preference_list(key, 1)
+        if not owners:
+            raise ConfigurationError("ring has no nodes")
+        return owners[0]
+
+    def preference_list(self, key: str, count: int) -> List[str]:
+        """The first ``count`` *distinct* physical nodes clockwise from the key.
+
+        This is the Dynamo preference list: the key's N replica homes, in
+        priority order.  When the ring has fewer than ``count`` physical nodes
+        the whole ring is returned.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if not self._positions:
+            return []
+        result: List[str] = []
+        start = bisect.bisect_right(self._positions, self.key_position(key))
+        total_positions = len(self._positions)
+        for offset in range(total_positions):
+            position = self._positions[(start + offset) % total_positions]
+            node = self._position_to_node[position]
+            if node not in result:
+                result.append(node)
+                if len(result) == count or len(result) == len(self._nodes):
+                    break
+        return result
+
+    def ownership_histogram(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of the given keys each node owns as primary (load check)."""
+        histogram: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            histogram[self.primary(key)] += 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ConsistentHashRing(nodes={len(self._nodes)}, vnodes={self.virtual_nodes})"

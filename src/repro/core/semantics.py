@@ -1,0 +1,75 @@
+"""Denotational semantics: mapping compact clocks to causal histories.
+
+Every compact causality mechanism in this library is a lossy or lossless
+encoding of a causal history.  This module makes those encodings explicit by
+providing denotation functions into :class:`~repro.core.causal_history.CausalHistory`,
+plus helpers that check whether two mechanisms *agree* on the ordering of two
+events.  The property-based tests and the correctness analysis both lean on
+these functions: the causal history is the ground truth, and each mechanism is
+expected either to match it exactly (DVV, DVVSet, VVE, client-id VV without
+pruning) or to deviate in precisely the way the paper describes (server-id VV
+falsely ordering concurrent client writes; pruned client VVs losing history).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .causal_history import CausalHistory
+from .comparison import Ordering
+from .dot import Dot
+from .dvv import DottedVersionVector
+from .dvvset import DVVSet
+from .version_vector import VersionVector
+
+Clock = Union[CausalHistory, VersionVector, DottedVersionVector, DVVSet]
+
+
+def denote_version_vector(vv: VersionVector) -> CausalHistory:
+    """``C[[v]] = ⋃_j {j_m | 1 <= m <= v[j]}`` — contiguous prefixes only."""
+    return CausalHistory(None, vv.dots())
+
+
+def denote_dvv(dvv: DottedVersionVector) -> CausalHistory:
+    """``C[[((i,n), v)]] = {i_n} ∪ C[[v]]`` — the paper's equation in Section 2."""
+    return dvv.to_causal_history()
+
+
+def denote_dvvset(clock: DVVSet) -> CausalHistory:
+    """Every event recorded by any entry of the set (values are irrelevant here)."""
+    return CausalHistory(None, (dot for dot, _ in clock.dots()))
+
+
+def denote(clock: Clock) -> CausalHistory:
+    """Dispatch to the appropriate denotation function."""
+    if isinstance(clock, CausalHistory):
+        return clock
+    if isinstance(clock, VersionVector):
+        return denote_version_vector(clock)
+    if isinstance(clock, DottedVersionVector):
+        return denote_dvv(clock)
+    if isinstance(clock, DVVSet):
+        return denote_dvvset(clock)
+    raise TypeError(f"no denotation defined for {type(clock).__name__}")
+
+
+def semantic_compare(a: Clock, b: Clock) -> Ordering:
+    """Ground-truth ordering of two clocks, computed on their causal histories."""
+    return denote(a).compare(denote(b))
+
+
+def agrees_with_history(a: Clock, b: Clock) -> bool:
+    """True iff the mechanism's own comparison matches the ground truth.
+
+    For exact mechanisms this always holds; for lossy ones (e.g. server-id
+    version vectors describing concurrent client writes) it is exactly the
+    property that fails, and the test suite asserts the failure on the paper's
+    Figure 1b scenario.
+    """
+    return a.compare(b) is semantic_compare(a, b)  # type: ignore[arg-type]
+
+
+def covers(clock: Clock, dots: Iterable[Dot]) -> bool:
+    """True iff every given dot is in the clock's denoted causal history."""
+    history = denote(clock)
+    return all(dot in history for dot in dots)

@@ -1,0 +1,269 @@
+"""Serialisation and size accounting for clocks.
+
+The quantitative half of the paper's evaluation ("a significant reduction in
+the size of metadata, and better latency when serving requests") is about how
+many bytes of causality metadata travel with every request and sit next to
+every stored value.  This module provides:
+
+* a compact, dependency-free binary encoding for every clock type (length-
+  prefixed UTF-8 actor ids + varint counters), used both to measure realistic
+  byte sizes and to exercise round-trip correctness in the tests;
+* a JSON-compatible encoding for human inspection and for the examples;
+* :func:`encoded_size` / :func:`entry_count`, the two measurements the
+  metadata-size experiments (E2/E4 in DESIGN.md) report.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Tuple, Union
+
+from .causal_history import CausalHistory
+from .dot import Dot
+from .dvv import DottedVersionVector
+from .dvvset import DVVSet
+from .exceptions import SerializationError
+from .version_vector import VersionVector
+
+Clock = Union[CausalHistory, VersionVector, DottedVersionVector, DVVSet]
+
+_TYPE_TAGS = {
+    VersionVector: b"V",
+    DottedVersionVector: b"D",
+    CausalHistory: b"H",
+    DVVSet: b"S",
+}
+
+
+# ---------------------------------------------------------------------- #
+# Varint helpers (LEB128, unsigned)
+# ---------------------------------------------------------------------- #
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise SerializationError(f"cannot encode negative integer {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _encode_varint(len(raw)) + raw
+
+
+def _decode_str(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = _decode_varint(data, offset)
+    if offset + length > len(data):
+        raise SerializationError("truncated string")
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+# ---------------------------------------------------------------------- #
+# Binary encoding
+# ---------------------------------------------------------------------- #
+def _encode_vv_body(vv: VersionVector) -> bytes:
+    out = bytearray(_encode_varint(len(vv)))
+    for actor, counter in vv.items():
+        out += _encode_str(actor)
+        out += _encode_varint(counter)
+    return bytes(out)
+
+
+def _decode_vv_body(data: bytes, offset: int) -> Tuple[VersionVector, int]:
+    count, offset = _decode_varint(data, offset)
+    entries: Dict[str, int] = {}
+    for _ in range(count):
+        actor, offset = _decode_str(data, offset)
+        counter, offset = _decode_varint(data, offset)
+        entries[actor] = counter
+    return VersionVector(entries), offset
+
+
+def encode(clock: Clock) -> bytes:
+    """Encode any clock type into a compact, self-describing byte string."""
+    if isinstance(clock, VersionVector):
+        return b"V" + _encode_vv_body(clock)
+    if isinstance(clock, DottedVersionVector):
+        body = _encode_str(clock.dot.actor) + _encode_varint(clock.dot.counter)
+        return b"D" + body + _encode_vv_body(clock.causal_past)
+    if isinstance(clock, CausalHistory):
+        dots = sorted(clock.events())
+        out = bytearray(b"H")
+        event = clock.event
+        out += _encode_varint(1 if event is not None else 0)
+        if event is not None:
+            out += _encode_str(event.actor) + _encode_varint(event.counter)
+        out += _encode_varint(len(dots))
+        for dot in dots:
+            out += _encode_str(dot.actor) + _encode_varint(dot.counter)
+        return bytes(out)
+    if isinstance(clock, DVVSet):
+        out = bytearray(b"S")
+        out += _encode_varint(len(clock.entries))
+        for actor, counter, values in clock.entries:
+            out += _encode_str(actor)
+            out += _encode_varint(counter)
+            out += _encode_varint(len(values))
+            for value in values:
+                out += _encode_str(_value_to_str(value))
+        out += _encode_varint(len(clock.anonymous))
+        for value in clock.anonymous:
+            out += _encode_str(_value_to_str(value))
+        return bytes(out)
+    raise SerializationError(f"cannot encode object of type {type(clock).__name__}")
+
+
+def decode(data: bytes) -> Clock:
+    """Decode a byte string produced by :func:`encode`."""
+    if not data:
+        raise SerializationError("empty input")
+    tag, offset = data[:1], 1
+    if tag == b"V":
+        vv, offset = _decode_vv_body(data, offset)
+        _check_consumed(data, offset)
+        return vv
+    if tag == b"D":
+        actor, offset = _decode_str(data, offset)
+        counter, offset = _decode_varint(data, offset)
+        vv, offset = _decode_vv_body(data, offset)
+        _check_consumed(data, offset)
+        return DottedVersionVector(Dot(actor, counter), vv)
+    if tag == b"H":
+        has_event, offset = _decode_varint(data, offset)
+        event = None
+        if has_event:
+            actor, offset = _decode_str(data, offset)
+            counter, offset = _decode_varint(data, offset)
+            event = Dot(actor, counter)
+        count, offset = _decode_varint(data, offset)
+        dots: List[Dot] = []
+        for _ in range(count):
+            actor, offset = _decode_str(data, offset)
+            counter, offset = _decode_varint(data, offset)
+            dots.append(Dot(actor, counter))
+        _check_consumed(data, offset)
+        return CausalHistory.from_events(dots, event)
+    if tag == b"S":
+        entry_count_, offset = _decode_varint(data, offset)
+        entries = []
+        for _ in range(entry_count_):
+            actor, offset = _decode_str(data, offset)
+            counter, offset = _decode_varint(data, offset)
+            value_count, offset = _decode_varint(data, offset)
+            values = []
+            for _ in range(value_count):
+                value, offset = _decode_str(data, offset)
+                values.append(value)
+            entries.append((actor, counter, tuple(values)))
+        anon_count, offset = _decode_varint(data, offset)
+        anonymous = []
+        for _ in range(anon_count):
+            value, offset = _decode_str(data, offset)
+            anonymous.append(value)
+        _check_consumed(data, offset)
+        return DVVSet(entries, anonymous)
+    raise SerializationError(f"unknown clock tag {tag!r}")
+
+
+def _check_consumed(data: bytes, offset: int) -> None:
+    if offset != len(data):
+        raise SerializationError(f"trailing bytes after decoding ({len(data) - offset} left)")
+
+
+def _value_to_str(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------- #
+# JSON encoding
+# ---------------------------------------------------------------------- #
+def to_json(clock: Clock) -> Dict[str, Any]:
+    """A human-readable JSON-compatible representation of any clock."""
+    if isinstance(clock, VersionVector):
+        return {"type": "version_vector", "entries": dict(clock.items())}
+    if isinstance(clock, DottedVersionVector):
+        return {
+            "type": "dotted_version_vector",
+            "dot": list(clock.dot.as_tuple()),
+            "causal_past": dict(clock.causal_past.items()),
+        }
+    if isinstance(clock, CausalHistory):
+        return {
+            "type": "causal_history",
+            "event": list(clock.event.as_tuple()) if clock.event else None,
+            "events": [list(d.as_tuple()) for d in sorted(clock.events())],
+        }
+    if isinstance(clock, DVVSet):
+        return {
+            "type": "dvvset",
+            "entries": [[actor, counter, list(values)] for actor, counter, values in clock.entries],
+            "anonymous": list(clock.anonymous),
+        }
+    raise SerializationError(f"cannot convert {type(clock).__name__} to JSON")
+
+
+def from_json(payload: Dict[str, Any]) -> Clock:
+    """Inverse of :func:`to_json`."""
+    kind = payload.get("type")
+    if kind == "version_vector":
+        return VersionVector(payload["entries"])
+    if kind == "dotted_version_vector":
+        actor, counter = payload["dot"]
+        return DottedVersionVector(Dot(actor, counter), VersionVector(payload["causal_past"]))
+    if kind == "causal_history":
+        event = Dot(*payload["event"]) if payload.get("event") else None
+        return CausalHistory.from_events((Dot(a, c) for a, c in payload["events"]), event)
+    if kind == "dvvset":
+        entries = [(actor, counter, tuple(values)) for actor, counter, values in payload["entries"]]
+        return DVVSet(entries, payload.get("anonymous", ()))
+    raise SerializationError(f"unknown clock type {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Size accounting — what the metadata experiments measure
+# ---------------------------------------------------------------------- #
+def encoded_size(clock: Clock) -> int:
+    """Number of bytes of the compact binary encoding of ``clock``."""
+    return len(encode(clock))
+
+
+def entry_count(clock: Clock) -> int:
+    """Number of logical entries in the clock (the paper's "size of metadata").
+
+    * version vector: number of (actor, counter) pairs;
+    * DVV: vector entries + 1 for the dot;
+    * DVVSet: number of per-actor entries;
+    * causal history: number of recorded events (unbounded).
+    """
+    if isinstance(clock, VersionVector):
+        return len(clock)
+    if isinstance(clock, DottedVersionVector):
+        return len(clock.causal_past) + 1
+    if isinstance(clock, DVVSet):
+        return clock.entry_count()
+    if isinstance(clock, CausalHistory):
+        return len(clock)
+    raise SerializationError(f"cannot size object of type {type(clock).__name__}")

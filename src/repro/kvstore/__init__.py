@@ -1,0 +1,68 @@
+"""The replicated multi-version key-value store (simulated Dynamo/Riak substrate).
+
+Two store frontends share the same replica-local machinery
+(:class:`~repro.kvstore.server.StorageNode` + pluggable causality mechanism):
+
+* :class:`~repro.kvstore.sync_store.SyncReplicatedStore` — synchronous, exact
+  control over interleavings; used by the Figure 1 scenario and the
+  correctness / metadata experiments.
+* :class:`~repro.kvstore.simulated.SimulatedCluster` — message-passing over
+  the discrete-event network simulator with quorums, read repair and
+  anti-entropy; used by the latency experiment and the integration tests.
+"""
+
+from .anti_entropy import AntiEntropyDaemon, AntiEntropyScheduler
+from .client import ClientSession, GetResult, PutResult
+from .context import CausalContext
+from .merkle import DiffStats, MerkleAntiEntropy, MerkleTree, diff_keys, key_fingerprint
+from .merge import (
+    CallbackResolver,
+    LastWriterWins,
+    SiblingResolver,
+    UnionMerge,
+    resolve_and_writeback,
+)
+from .read_repair import ReadRepairStats, RepairPlan, plan_read_repair
+from .server import StorageNode
+from .simulated import (
+    MessageServer,
+    RequestRecord,
+    SimulatedClient,
+    SimulatedCluster,
+    default_value_size,
+)
+from .storage import NodeStorage
+from .sync_store import SyncReplicatedStore
+from .write_log import WriteLog, WriteRecord
+
+__all__ = [
+    "AntiEntropyDaemon",
+    "AntiEntropyScheduler",
+    "CallbackResolver",
+    "CausalContext",
+    "ClientSession",
+    "DiffStats",
+    "GetResult",
+    "LastWriterWins",
+    "MerkleAntiEntropy",
+    "MerkleTree",
+    "MessageServer",
+    "NodeStorage",
+    "PutResult",
+    "ReadRepairStats",
+    "RepairPlan",
+    "RequestRecord",
+    "SiblingResolver",
+    "SimulatedClient",
+    "SimulatedCluster",
+    "StorageNode",
+    "SyncReplicatedStore",
+    "UnionMerge",
+    "WriteLog",
+    "WriteRecord",
+    "default_value_size",
+    "diff_keys",
+    "key_fingerprint",
+    "plan_read_repair",
+    "resolve_and_writeback",
+]

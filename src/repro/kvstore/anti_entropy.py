@@ -1,0 +1,109 @@
+"""Anti-entropy: background replica synchronisation.
+
+Dynamo-style stores converge replicas in two ways: read repair (on the read
+path, see :mod:`repro.kvstore.read_repair`) and a background anti-entropy
+process that periodically exchanges state between replica pairs — the dotted
+"server sync" arrows in the paper's Figure 1.  This module provides both the
+direct form used with the synchronous store and a
+:class:`~repro.network.simulator.PeriodicTask`-driven daemon for the simulated
+message-passing cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..network.simulator import PeriodicTask, Simulation
+from .sync_store import SyncReplicatedStore
+
+
+class AntiEntropyScheduler:
+    """Round-robin pair scheduling for synchronous stores.
+
+    Each call to :meth:`run_round` synchronises every key between one pair of
+    replicas, cycling deterministically through all pairs so that repeated
+    rounds converge the whole cluster without requiring all-pairs exchanges
+    every time (which would hide the cost differences between mechanisms).
+    """
+
+    def __init__(self, store: SyncReplicatedStore) -> None:
+        self.store = store
+        self._pair_index = 0
+        self.rounds_run = 0
+
+    def _pairs(self) -> List[Tuple[str, str]]:
+        servers = sorted(self.store.servers)
+        return [
+            (servers[i], servers[j])
+            for i in range(len(servers))
+            for j in range(i + 1, len(servers))
+        ]
+
+    def run_round(self, key: Optional[str] = None) -> Tuple[str, str]:
+        """Synchronise one replica pair (all keys, or one key); returns the pair."""
+        pairs = self._pairs()
+        if not pairs:
+            raise ConfigurationError("anti-entropy needs at least two servers")
+        source_id, target_id = pairs[self._pair_index % len(pairs)]
+        self._pair_index += 1
+        self.rounds_run += 1
+        keys = [key] if key is not None else self._keys_of(source_id, target_id)
+        for key_to_sync in keys:
+            self.store.sync_key(key_to_sync, source_id, target_id, bidirectional=True)
+        return source_id, target_id
+
+    def run_until_converged(self, max_rounds: int = 100) -> int:
+        """Run rounds until the store converges; returns the number of rounds."""
+        for round_number in range(1, max_rounds + 1):
+            self.run_round()
+            if self.store.is_converged():
+                return round_number
+        raise ConfigurationError(f"store did not converge within {max_rounds} rounds")
+
+    def _keys_of(self, *server_ids: str) -> List[str]:
+        keys = set()
+        for server_id in server_ids:
+            keys.update(self.store.node(server_id).storage.keys())
+        return sorted(keys)
+
+
+class AntiEntropyDaemon:
+    """Periodic anti-entropy for the simulated message-passing cluster.
+
+    The daemon does not touch node state directly; it asks the cluster to
+    issue SYNC_REQUEST messages between a replica pair, so the exchanged state
+    pays the same latency/size costs as every other message (keeping the
+    latency experiment honest).
+    """
+
+    def __init__(self,
+                 simulation: Simulation,
+                 trigger_sync: Callable[[str, str], None],
+                 node_ids: Sequence[str],
+                 interval_ms: float = 50.0) -> None:
+        if len(node_ids) < 2:
+            raise ConfigurationError("anti-entropy needs at least two nodes")
+        self._trigger_sync = trigger_sync
+        self._node_ids = sorted(node_ids)
+        self._pair_index = 0
+        self.exchanges_started = 0
+        self._task = PeriodicTask(simulation, interval_ms, self._tick, label="anti-entropy")
+
+    def _pairs(self) -> List[Tuple[str, str]]:
+        return [
+            (self._node_ids[i], self._node_ids[j])
+            for i in range(len(self._node_ids))
+            for j in range(i + 1, len(self._node_ids))
+        ]
+
+    def _tick(self) -> None:
+        pairs = self._pairs()
+        source_id, target_id = pairs[self._pair_index % len(pairs)]
+        self._pair_index += 1
+        self.exchanges_started += 1
+        self._trigger_sync(source_id, target_id)
+
+    def stop(self) -> None:
+        """Stop scheduling further exchanges."""
+        self._task.stop()

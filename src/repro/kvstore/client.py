@@ -1,0 +1,190 @@
+"""Client sessions: the application-side view of the store.
+
+A :class:`ClientSession` models one client of the storage system (a browser
+session, an application server worker, ...).  It is responsible for the two
+pieces of client-side bookkeeping the protocol needs:
+
+* remembering the **causal context** returned by its last read of each key so
+  the next write can supersede what was read (the store never trusts clients
+  to do more than echo the context back);
+* minting the **ground-truth identity** of each write it issues — a unique
+  dot ``(client_id, seq)`` plus the ground-truth causal history of the write —
+  which the correctness oracle uses and the mechanisms never see.
+
+Sessions also expose convenience ``get``/``put`` wrappers over a store
+object, which is what the examples and workload generators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..clocks.interface import ReadResult, Sibling, merge_histories
+from ..core.causal_history import CausalHistory
+from ..core.dot import Dot
+from .context import CausalContext
+
+
+@dataclass
+class GetResult:
+    """What a client receives from a GET."""
+
+    key: str
+    values: List[Any]
+    siblings: List[Sibling]
+    context: CausalContext
+
+    @property
+    def is_conflict(self) -> bool:
+        """True when the store returned more than one concurrent value."""
+        return len(self.values) > 1
+
+    @property
+    def value(self) -> Optional[Any]:
+        """The single value, when there is no conflict (None for empty keys)."""
+        if len(self.values) == 1:
+            return self.values[0]
+        if not self.values:
+            return None
+        raise ValueError(
+            f"key {self.key!r} has {len(self.values)} concurrent values; "
+            "resolve the conflict or use .values"
+        )
+
+
+@dataclass
+class PutResult:
+    """What a client receives back from a PUT."""
+
+    key: str
+    context: Optional[CausalContext]
+    coordinator: str
+    sibling: Sibling
+
+
+class ClientSession:
+    """One client of the store, with its per-key causal bookkeeping."""
+
+    def __init__(self, client_id: str) -> None:
+        self.client_id = client_id
+        self._write_seq = 0
+        self._observed: Dict[str, CausalHistory] = {}
+        self._contexts: Dict[str, CausalContext] = {}
+        #: Number of get/put operations issued (reports).
+        self.stats = {"gets": 0, "puts": 0}
+
+    # ------------------------------------------------------------------ #
+    # Causal bookkeeping
+    # ------------------------------------------------------------------ #
+    def observed_history(self, key: str) -> CausalHistory:
+        """Ground-truth history of everything this client has seen of ``key``."""
+        return self._observed.get(key, CausalHistory.empty())
+
+    def last_context(self, key: str) -> Optional[CausalContext]:
+        """The causal context from the client's most recent read of ``key``."""
+        return self._contexts.get(key)
+
+    def absorb_read(self,
+                    key: str,
+                    read: ReadResult,
+                    mechanism_name: str) -> CausalContext:
+        """Record the outcome of a read and build the context for the next write.
+
+        The context's ground-truth history covers exactly what *this* read
+        returned — the same information the mechanism context encodes — so the
+        oracle and the mechanism under test are judged on identical inputs.
+        The session separately accumulates everything it has ever seen
+        (:meth:`observed_history`), which reports may use but contexts do not.
+        """
+        seen_now = merge_histories(read.siblings)
+        self._observed[key] = self.observed_history(key).merge(seen_now)
+        context = CausalContext(
+            key=key,
+            mechanism_context=read.context,
+            observed_history=seen_now,
+            mechanism_name=mechanism_name,
+        )
+        self._contexts[key] = context
+        return context
+
+    def prepare_write(self,
+                      key: str,
+                      value: Any,
+                      context: Optional[CausalContext] = None) -> Sibling:
+        """Mint the ground-truth identity of a new write of ``key``.
+
+        The write's ground-truth causal history is the history carried by the
+        context the write is issued with, plus the write's own fresh dot.
+        This matches the correctness criterion of the DVV literature: a PUT
+        supersedes exactly the versions covered by the context it supplies —
+        a blind write (no context) is causally concurrent with everything,
+        even if the client *happened* to have read the key before, because the
+        store is never told about those reads.
+        """
+        self._write_seq += 1
+        dot = Dot(self.client_id, self._write_seq)
+        base_history = (
+            context.observed_history if context is not None else CausalHistory.empty()
+        )
+        history = CausalHistory(dot, base_history.events())
+        return Sibling(value=value, origin_dot=dot, history=history, writer=self.client_id)
+
+    def forget(self, key: str) -> None:
+        """Drop the session's context for ``key`` (models an expired session).
+
+        The next write becomes a blind write — one of the behaviours that
+        creates siblings in production systems.
+        """
+        self._contexts.pop(key, None)
+        self._observed.pop(key, None)
+
+    def forget_all(self) -> None:
+        """Drop every per-key context (fresh session, same client identity)."""
+        self._contexts.clear()
+        self._observed.clear()
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers over a store object
+    # ------------------------------------------------------------------ #
+    def get(self, store: "SupportsClientOps", key: str, server_id: Optional[str] = None) -> GetResult:
+        """Read ``key`` through ``store``, updating the session's context."""
+        self.stats["gets"] += 1
+        return store.get(key, self, server_id=server_id)
+
+    def put(self,
+            store: "SupportsClientOps",
+            key: str,
+            value: Any,
+            server_id: Optional[str] = None,
+            use_context: bool = True) -> PutResult:
+        """Write ``key`` through ``store``.
+
+        ``use_context=False`` issues a deliberate blind write (ignoring any
+        context the session holds), used by workloads that model careless
+        clients.
+        """
+        self.stats["puts"] += 1
+        context = self._contexts.get(key) if use_context else None
+        return store.put(key, value, self, context=context, server_id=server_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ClientSession(id={self.client_id!r}, writes={self._write_seq})"
+
+
+class SupportsClientOps:
+    """Structural interface a store must offer to :class:`ClientSession` wrappers.
+
+    Both the synchronous store and the simulated cluster's blocking facade
+    implement these two methods; the class exists purely for documentation and
+    isinstance-free duck typing.
+    """
+
+    def get(self, key: str, client: ClientSession,
+            server_id: Optional[str] = None) -> GetResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any, client: ClientSession,
+            context: Optional[CausalContext] = None,
+            server_id: Optional[str] = None) -> PutResult:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""Causal contexts: the opaque token clients carry between GET and PUT.
+
+In a Dynamo/Riak-style store a read returns, besides the value(s), a *causal
+context*; the client must send that context back with its next write so the
+store knows which versions the write supersedes.  The representation of the
+context is owned by the causality mechanism under test (a version vector for
+DVV/DVVSet/client-VV/server-VV, a causal history for the oracle, a VVE for the
+WinFS baseline); :class:`CausalContext` wraps it together with the key it
+belongs to and the ground-truth history the reading client observed, which the
+analysis layer needs but the mechanisms never see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.causal_history import CausalHistory
+
+
+@dataclass(frozen=True)
+class CausalContext:
+    """Context returned by a GET and supplied with the following PUT.
+
+    Attributes
+    ----------
+    key:
+        The key the context belongs to.  Contexts are never valid across keys;
+        the store rejects mismatched ones.
+    mechanism_context:
+        The mechanism-specific causal summary (opaque to clients).
+    observed_history:
+        Ground-truth causal history of everything the reading client saw.
+        Used only by the correctness oracle — a real deployment would not
+        carry this.
+    mechanism_name:
+        Name of the mechanism that produced the context, so accidentally
+        mixing runs fails loudly instead of corrupting results.
+    """
+
+    key: str
+    mechanism_context: Any
+    observed_history: CausalHistory
+    mechanism_name: str
+
+    @classmethod
+    def initial(cls, key: str, mechanism_name: str, empty_context: Any) -> "CausalContext":
+        """The context of a client that has never read ``key`` (blind write)."""
+        return cls(
+            key=key,
+            mechanism_context=empty_context,
+            observed_history=CausalHistory.empty(),
+            mechanism_name=mechanism_name,
+        )
+
+    def with_mechanism_context(self, mechanism_context: Any) -> "CausalContext":
+        """Copy with a replaced mechanism context (used by read repair paths)."""
+        return CausalContext(
+            key=self.key,
+            mechanism_context=mechanism_context,
+            observed_history=self.observed_history,
+            mechanism_name=self.mechanism_name,
+        )
+
+    def merged_history(self, other: CausalHistory) -> "CausalContext":
+        """Copy whose ground-truth history additionally covers ``other``."""
+        return CausalContext(
+            key=self.key,
+            mechanism_context=self.mechanism_context,
+            observed_history=self.observed_history.merge(other),
+            mechanism_name=self.mechanism_name,
+        )

@@ -1,0 +1,114 @@
+"""Application-level sibling resolution strategies.
+
+Causality tracking tells the store which versions are concurrent; deciding
+what to *do* with concurrent versions is the application's job.  This module
+collects the common resolution strategies the examples and workloads use:
+
+* :class:`LastWriterWins` — pick one sibling deterministically (by the
+  ground-truth dot, as a stand-in for a wall-clock timestamp).  Loses data by
+  design; included because it is what stores that refuse to expose siblings
+  effectively do.
+* :class:`UnionMerge` — merge siblings that are collections (sets/lists),
+  the classic shopping-cart resolution from the Dynamo paper.
+* :class:`CallbackResolver` — delegate to an application-supplied function.
+
+Resolvers consume the sibling list of a GET and return a single merged value;
+the caller is responsible for writing the merged value back with the GET's
+context so the resolution itself is recorded causally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence
+
+from ..clocks.interface import Sibling
+from ..core.exceptions import ConfigurationError
+
+
+class SiblingResolver:
+    """Base class for sibling resolution strategies."""
+
+    name = "abstract"
+
+    def resolve(self, siblings: Sequence[Sibling]) -> Any:
+        """Return the single application value that replaces the sibling set."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__}>"
+
+
+class LastWriterWins(SiblingResolver):
+    """Keep the sibling with the highest (writer, sequence) dot; drop the rest.
+
+    Deterministic and cheap, but silently discards concurrent updates — the
+    anti-pattern the paper's storage systems exist to avoid.  Useful in
+    experiments as the "how much would LWW lose" yardstick.
+    """
+
+    name = "last_writer_wins"
+
+    def resolve(self, siblings: Sequence[Sibling]) -> Any:
+        if not siblings:
+            raise ConfigurationError("cannot resolve an empty sibling set")
+        winner = max(siblings, key=lambda sibling: (sibling.origin_dot.counter,
+                                                    sibling.origin_dot.actor))
+        return winner.value
+
+
+class UnionMerge(SiblingResolver):
+    """Union of siblings whose values are iterables (sets, lists, tuples).
+
+    The shopping-cart merge: no concurrently-added item is ever lost, though
+    concurrently-removed items may resurface (the classic Dynamo anomaly,
+    which CRDTs address and which is out of scope here).
+    """
+
+    name = "union_merge"
+
+    def resolve(self, siblings: Sequence[Sibling]) -> List[Any]:
+        if not siblings:
+            raise ConfigurationError("cannot resolve an empty sibling set")
+        merged: List[Any] = []
+        for sibling in siblings:
+            value = sibling.value
+            if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+                raise ConfigurationError(
+                    f"UnionMerge needs iterable sibling values, got {type(value).__name__}"
+                )
+            for item in value:
+                if item not in merged:
+                    merged.append(item)
+        return merged
+
+
+class CallbackResolver(SiblingResolver):
+    """Delegate resolution to an application-provided callable."""
+
+    name = "callback"
+
+    def __init__(self, callback: Callable[[Sequence[Sibling]], Any]) -> None:
+        self._callback = callback
+
+    def resolve(self, siblings: Sequence[Sibling]) -> Any:
+        return self._callback(siblings)
+
+
+def resolve_and_writeback(store: Any,
+                          key: str,
+                          client: Any,
+                          resolver: SiblingResolver) -> Any:
+    """Read ``key``, resolve its siblings, and write the merged value back.
+
+    The write-back carries the read's context, so every sibling that took part
+    in the resolution is causally superseded — after replicas converge the key
+    has a single value again.  Returns the merged value.
+    """
+    result = client.get(store, key)
+    if not result.siblings:
+        return None
+    if len(result.siblings) == 1:
+        return result.siblings[0].value
+    merged = resolver.resolve(result.siblings)
+    client.put(store, key, merged)
+    return merged

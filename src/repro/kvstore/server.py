@@ -1,0 +1,99 @@
+"""Storage node: the replica-local half of the store.
+
+A :class:`StorageNode` owns a :class:`~repro.kvstore.storage.NodeStorage` and
+executes the replica-local steps of the protocol — read a key's state, apply a
+coordinated write through the causality mechanism, merge a remote replica's
+state.  It knows nothing about quorums, placement or the network; the
+synchronous store (:mod:`repro.kvstore.sync_store`) calls it directly and the
+simulated cluster (:mod:`repro.kvstore.simulated`) wraps it in a message
+handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..clocks.interface import CausalityMechanism, ReadResult, Sibling
+from ..core.exceptions import StaleContextError
+from .context import CausalContext
+from .storage import NodeStorage
+
+
+class StorageNode:
+    """One replica server."""
+
+    def __init__(self, node_id: str, mechanism: CausalityMechanism) -> None:
+        self.node_id = node_id
+        self.mechanism = mechanism
+        self.storage = NodeStorage(mechanism)
+        #: Operation counters for diagnostics and reports.
+        self.stats = {
+            "reads": 0,
+            "writes": 0,
+            "merges": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Replica-local operations
+    # ------------------------------------------------------------------ #
+    def local_read(self, key: str) -> ReadResult:
+        """Read the key's live siblings and the mechanism context describing them."""
+        self.stats["reads"] += 1
+        return self.mechanism.read(self.storage.get_state(key))
+
+    def local_write(self,
+                    key: str,
+                    context: Optional[CausalContext],
+                    sibling: Sibling,
+                    client_id: str) -> Any:
+        """Apply a client write coordinated by this node.
+
+        ``context`` may be None for a blind write (never-read client).  The
+        returned value is the new mechanism state (also stored), which the
+        coordinator replicates to the other replicas.
+        """
+        self.stats["writes"] += 1
+        if context is not None and context.key != key:
+            raise StaleContextError(
+                f"context for key {context.key!r} used to write key {key!r}"
+            )
+        mechanism_context = (
+            context.mechanism_context if context is not None else self.mechanism.empty_context()
+        )
+        state = self.storage.get_state(key)
+        new_state = self.mechanism.write(state, mechanism_context, sibling, self.node_id, client_id)
+        self.storage.put_state(key, new_state)
+        return new_state
+
+    def local_merge(self, key: str, remote_state: Any) -> Any:
+        """Merge a remote replica's state for ``key`` into the local one."""
+        self.stats["merges"] += 1
+        merged = self.mechanism.merge(self.storage.get_state(key), remote_state)
+        self.storage.put_state(key, merged)
+        return merged
+
+    def state_of(self, key: str) -> Any:
+        """The raw mechanism state stored for ``key`` (for replication/sync)."""
+        return self.storage.get_state(key)
+
+    def siblings_of(self, key: str) -> List[Sibling]:
+        """The live sibling versions stored for ``key``."""
+        return self.mechanism.siblings(self.storage.get_state(key))
+
+    def values_of(self, key: str) -> List[Any]:
+        """Just the application values of the live siblings."""
+        return [sibling.value for sibling in self.siblings_of(key)]
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def metadata_entries(self, key: Optional[str] = None) -> int:
+        """Causality-metadata entries held by this node (for one key or all)."""
+        return self.storage.metadata_entries(key)
+
+    def metadata_bytes(self, key: Optional[str] = None) -> int:
+        """Causality-metadata bytes held by this node (for one key or all)."""
+        return self.storage.metadata_bytes(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"StorageNode(id={self.node_id!r}, mechanism={self.mechanism.name!r})"

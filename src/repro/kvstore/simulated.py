@@ -1,0 +1,668 @@
+"""The simulated message-passing cluster: Dynamo/Riak over the event simulator.
+
+This is the substrate that replaces the paper's modified-Riak testbed for the
+latency experiment (E4) and for integration tests that need real replication
+traffic (quorums, read repair, anti-entropy, partitions).  Everything travels
+as :class:`~repro.network.message.Message` objects through a
+:class:`~repro.network.transport.Transport`, so metadata size directly
+influences request latency via the size-dependent latency model.
+
+Topology and protocol
+---------------------
+* Each physical server runs a :class:`MessageServer` wrapping a
+  :class:`~repro.kvstore.server.StorageNode`.
+* Clients are :class:`SimulatedClient` nodes that send ``COORDINATE_GET`` /
+  ``COORDINATE_PUT`` to the key's coordinator (resolved through the placement
+  service), and receive ``GET_REPLY`` / ``PUT_REPLY``.
+* The coordinator fans out to the key's replicas, waits for the configured
+  R/W quorum, performs read repair on divergent read replies, and answers the
+  client.
+* A background :class:`~repro.kvstore.anti_entropy.AntiEntropyDaemon`
+  periodically exchanges full key states between replica pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..clocks.interface import CausalityMechanism, Sibling
+from ..cluster.membership import Membership
+from ..cluster.preference_list import PlacementService, QuorumConfig
+from ..cluster.ring import ConsistentHashRing
+from ..core.exceptions import ConfigurationError
+from ..network.latency import LatencyModel, SizeDependentLatency
+from ..network.message import Message, MessageType
+from ..network.partition import PartitionManager
+from ..network.simulator import Simulation
+from ..network.transport import Transport
+from .anti_entropy import AntiEntropyDaemon
+from .client import ClientSession, GetResult, PutResult
+from .context import CausalContext
+from .read_repair import ReadRepairStats, plan_read_repair
+from .server import StorageNode
+from .write_log import WriteLog
+
+
+def default_value_size(value: Any) -> int:
+    """Approximate wire size of an application value (bytes)."""
+    if isinstance(value, bytes):
+        return len(value)
+    return len(repr(value).encode("utf-8"))
+
+
+@dataclass
+class RequestRecord:
+    """One completed (or failed) client request, for latency analysis."""
+
+    operation: str
+    key: str
+    client_id: str
+    started_at: float
+    finished_at: float
+    ok: bool
+    coordinator: str = ""
+    sibling_count: int = 0
+    context_bytes: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency in simulated milliseconds."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class _PendingCoordination:
+    """Coordinator-side bookkeeping for one in-flight client request."""
+
+    kind: str                       # "get" or "put"
+    key: str
+    client_address: str
+    request_id: int
+    needed: int
+    replies: List = field(default_factory=list)
+    replied_nodes: List[str] = field(default_factory=list)
+    done: bool = False
+    # put-only fields
+    new_state: Any = None
+    sibling: Optional[Sibling] = None
+
+
+class MessageServer:
+    """A storage server participating in the message-passing protocol."""
+
+    def __init__(self,
+                 node_id: str,
+                 mechanism: CausalityMechanism,
+                 cluster: "SimulatedCluster") -> None:
+        self.node = StorageNode(node_id, mechanism)
+        self.node_id = node_id
+        self.mechanism = mechanism
+        self.cluster = cluster
+        self._pending: Dict[int, _PendingCoordination] = {}
+        self._request_ids = itertools.count(1)
+        self.read_repair_stats = ReadRepairStats()
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch
+    # ------------------------------------------------------------------ #
+    def handle_message(self, message: Message) -> None:
+        """Transport entry point."""
+        handlers = {
+            MessageType.COORDINATE_GET: self._on_coordinate_get,
+            MessageType.COORDINATE_PUT: self._on_coordinate_put,
+            MessageType.REPLICA_GET: self._on_replica_get,
+            MessageType.REPLICA_GET_REPLY: self._on_replica_get_reply,
+            MessageType.REPLICA_PUT: self._on_replica_put,
+            MessageType.REPLICA_PUT_ACK: self._on_replica_put_ack,
+            MessageType.READ_REPAIR: self._on_read_repair,
+            MessageType.SYNC_REQUEST: self._on_sync_request,
+            MessageType.SYNC_REPLY: self._on_sync_reply,
+            MessageType.PING: self._on_ping,
+        }
+        handler = handlers.get(message.msg_type)
+        if handler is None:
+            return
+        handler(message)
+
+    # ------------------------------------------------------------------ #
+    # Coordinating a GET
+    # ------------------------------------------------------------------ #
+    def _on_coordinate_get(self, message: Message) -> None:
+        key = message.payload["key"]
+        config = self.cluster.quorum
+        replicas = self.cluster.placement.active_replicas(key)
+        request_id = next(self._request_ids)
+        pending = _PendingCoordination(
+            kind="get",
+            key=key,
+            client_address=message.sender,
+            request_id=message.msg_id,
+            needed=min(config.r, max(len(replicas), 1)),
+        )
+        self._pending[request_id] = pending
+
+        # The coordinator replies for itself immediately (no network hop).
+        pending.replies.append((self.node_id, self.node.state_of(key)))
+        pending.replied_nodes.append(self.node_id)
+
+        for replica_id in replicas:
+            if replica_id == self.node_id:
+                continue
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=replica_id,
+                msg_type=MessageType.REPLICA_GET,
+                payload={"key": key, "coordination_id": request_id},
+                size_bytes=self.cluster.request_overhead_bytes,
+                request_id=request_id,
+            ))
+        self._maybe_finish_get(request_id)
+
+    def _on_replica_get(self, message: Message) -> None:
+        key = message.payload["key"]
+        state = self.node.state_of(key)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.REPLICA_GET_REPLY,
+            payload={
+                "key": key,
+                "state": state,
+                "coordination_id": message.payload["coordination_id"],
+            },
+            size_bytes=self._state_size(key, state),
+            request_id=message.request_id,
+        ))
+
+    def _on_replica_get_reply(self, message: Message) -> None:
+        coordination_id = message.payload["coordination_id"]
+        pending = self._pending.get(coordination_id)
+        if pending is None or pending.done or pending.kind != "get":
+            return
+        pending.replies.append((message.sender, message.payload["state"]))
+        pending.replied_nodes.append(message.sender)
+        self._maybe_finish_get(coordination_id)
+
+    def _maybe_finish_get(self, coordination_id: int) -> None:
+        pending = self._pending.get(coordination_id)
+        if pending is None or pending.done:
+            return
+        if len(pending.replies) < pending.needed:
+            return
+        pending.done = True
+
+        plan = plan_read_repair(self.mechanism, pending.replies)
+        self.read_repair_stats.record(plan)
+        merged_state = plan.merged_state
+        # The coordinator keeps the merged state (it is one of the replicas).
+        self.node.local_merge(pending.key, merged_state)
+        read = self.mechanism.read(self.node.state_of(pending.key))
+
+        # Repair the stale replicas in the background.
+        for replica_id in plan.stale_replicas:
+            if replica_id == self.node_id:
+                continue
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=replica_id,
+                msg_type=MessageType.READ_REPAIR,
+                payload={"key": pending.key, "state": merged_state},
+                size_bytes=self._state_size(pending.key, merged_state),
+            ))
+
+        context_bytes = self.mechanism.context_bytes(read.context)
+        values_bytes = sum(default_value_size(s.value) for s in read.siblings)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=pending.client_address,
+            msg_type=MessageType.GET_REPLY,
+            payload={
+                "key": pending.key,
+                "siblings": list(read.siblings),
+                "mechanism_context": read.context,
+                "coordinator": self.node_id,
+                "context_bytes": context_bytes,
+            },
+            size_bytes=values_bytes + context_bytes + self.cluster.request_overhead_bytes,
+            request_id=pending.request_id,
+        ))
+        self._pending.pop(coordination_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Coordinating a PUT
+    # ------------------------------------------------------------------ #
+    def _on_coordinate_put(self, message: Message) -> None:
+        key = message.payload["key"]
+        sibling: Sibling = message.payload["sibling"]
+        context: Optional[CausalContext] = message.payload.get("context")
+        client_id = message.payload["client_id"]
+        config = self.cluster.quorum
+        replicas = self.cluster.placement.active_replicas(key)
+
+        new_state = self.node.local_write(key, context, sibling, client_id)
+        self.cluster.write_log.append(
+            key, sibling, self.node_id, client_id, self.cluster.simulation.now
+        )
+
+        request_id = next(self._request_ids)
+        pending = _PendingCoordination(
+            kind="put",
+            key=key,
+            client_address=message.sender,
+            request_id=message.msg_id,
+            needed=min(config.w, max(len(replicas), 1)),
+            new_state=new_state,
+            sibling=sibling,
+        )
+        self._pending[request_id] = pending
+        pending.replies.append((self.node_id, True))
+        pending.replied_nodes.append(self.node_id)
+
+        for replica_id in replicas:
+            if replica_id == self.node_id:
+                continue
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=replica_id,
+                msg_type=MessageType.REPLICA_PUT,
+                payload={"key": key, "state": new_state, "coordination_id": request_id},
+                size_bytes=self._state_size(key, new_state),
+                request_id=request_id,
+            ))
+        self._maybe_finish_put(request_id)
+
+    def _on_replica_put(self, message: Message) -> None:
+        key = message.payload["key"]
+        self.node.local_merge(key, message.payload["state"])
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.REPLICA_PUT_ACK,
+            payload={"key": key, "coordination_id": message.payload["coordination_id"]},
+            size_bytes=self.cluster.request_overhead_bytes,
+            request_id=message.request_id,
+        ))
+
+    def _on_replica_put_ack(self, message: Message) -> None:
+        coordination_id = message.payload["coordination_id"]
+        pending = self._pending.get(coordination_id)
+        if pending is None or pending.done or pending.kind != "put":
+            return
+        pending.replies.append((message.sender, True))
+        pending.replied_nodes.append(message.sender)
+        self._maybe_finish_put(coordination_id)
+
+    def _maybe_finish_put(self, coordination_id: int) -> None:
+        pending = self._pending.get(coordination_id)
+        if pending is None or pending.done:
+            return
+        if len(pending.replies) < pending.needed:
+            return
+        pending.done = True
+        read = self.mechanism.read(self.node.state_of(pending.key))
+        context_bytes = self.mechanism.context_bytes(read.context)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=pending.client_address,
+            msg_type=MessageType.PUT_REPLY,
+            payload={
+                "key": pending.key,
+                "coordinator": self.node_id,
+                "mechanism_context": read.context,
+                "siblings": list(read.siblings),
+                "context_bytes": context_bytes,
+                "sibling": pending.sibling,
+            },
+            size_bytes=context_bytes + self.cluster.request_overhead_bytes,
+            request_id=pending.request_id,
+        ))
+        self._pending.pop(coordination_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Read repair / anti-entropy
+    # ------------------------------------------------------------------ #
+    def _on_read_repair(self, message: Message) -> None:
+        self.node.local_merge(message.payload["key"], message.payload["state"])
+
+    def _on_sync_request(self, message: Message) -> None:
+        states = message.payload["states"]
+        reply_states = {}
+        for key, state in states.items():
+            self.node.local_merge(key, state)
+        for key in self.node.storage.keys():
+            reply_states[key] = self.node.state_of(key)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.SYNC_REPLY,
+            payload={"states": reply_states},
+            size_bytes=sum(self._state_size(k, s) for k, s in reply_states.items()),
+            request_id=message.request_id,
+        ))
+
+    def _on_sync_reply(self, message: Message) -> None:
+        for key, state in message.payload["states"].items():
+            self.node.local_merge(key, state)
+
+    def _on_ping(self, message: Message) -> None:
+        self.cluster.transport.send(message.reply(MessageType.PONG))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def start_sync_with(self, peer_id: str) -> None:
+        """Begin an anti-entropy exchange with ``peer_id`` (push-pull)."""
+        states = {key: self.node.state_of(key) for key in self.node.storage.keys()}
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=peer_id,
+            msg_type=MessageType.SYNC_REQUEST,
+            payload={"states": states},
+            size_bytes=sum(self._state_size(k, s) for k, s in states.items()),
+        ))
+
+    def _state_size(self, key: str, state: Any) -> int:
+        metadata = self.mechanism.metadata_bytes(state)
+        values = sum(default_value_size(s.value) for s in self.mechanism.siblings(state))
+        return metadata + values + self.cluster.request_overhead_bytes
+
+
+class SimulatedClient:
+    """A client node of the simulated cluster.
+
+    The client keeps a :class:`~repro.kvstore.client.ClientSession` for causal
+    bookkeeping and records a :class:`RequestRecord` for every completed
+    request.  Requests are asynchronous: callers pass a callback that receives
+    the :class:`GetResult` / :class:`PutResult` when the reply arrives.
+    """
+
+    def __init__(self, client_id: str, cluster: "SimulatedCluster") -> None:
+        self.client_id = client_id
+        self.address = f"client:{client_id}"
+        self.cluster = cluster
+        self.session = ClientSession(client_id)
+        self.records: List[RequestRecord] = []
+        self._callbacks: Dict[int, Callable] = {}
+        self._started: Dict[int, float] = {}
+        self._operations: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def handle_message(self, message: Message) -> None:
+        """Transport entry point (replies from coordinators)."""
+        if message.msg_type is MessageType.GET_REPLY:
+            self._on_get_reply(message)
+        elif message.msg_type is MessageType.PUT_REPLY:
+            self._on_put_reply(message)
+
+    # ------------------------------------------------------------------ #
+    # Issuing requests
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, callback: Optional[Callable[[GetResult], None]] = None) -> None:
+        """Issue a GET for ``key``; ``callback`` fires when the reply arrives."""
+        coordinator = self.cluster.placement.coordinator_for(key)
+        message = Message(
+            sender=self.address,
+            receiver=coordinator,
+            msg_type=MessageType.COORDINATE_GET,
+            payload={"key": key},
+            size_bytes=self.cluster.request_overhead_bytes,
+        )
+        self._register(message, "get", key, callback)
+        self.cluster.transport.send(message)
+
+    def put(self,
+            key: str,
+            value: Any,
+            callback: Optional[Callable[[PutResult], None]] = None,
+            use_context: bool = True) -> None:
+        """Issue a PUT for ``key``; ``callback`` fires when the reply arrives."""
+        coordinator = self.cluster.placement.coordinator_for(key)
+        context = self.session.last_context(key) if use_context else None
+        sibling = self.session.prepare_write(key, value, context)
+        context_bytes = (
+            self.cluster.mechanism.context_bytes(context.mechanism_context)
+            if context is not None else 0
+        )
+        message = Message(
+            sender=self.address,
+            receiver=coordinator,
+            msg_type=MessageType.COORDINATE_PUT,
+            payload={
+                "key": key,
+                "sibling": sibling,
+                "context": context,
+                "client_id": self.client_id,
+            },
+            size_bytes=default_value_size(value) + context_bytes
+            + self.cluster.request_overhead_bytes,
+        )
+        self._register(message, "put", key, callback)
+        self.cluster.transport.send(message)
+
+    def _register(self, message: Message, operation: str, key: str,
+                  callback: Optional[Callable]) -> None:
+        self._callbacks[message.msg_id] = callback
+        self._started[message.msg_id] = self.cluster.simulation.now
+        self._operations[message.msg_id] = {"operation": operation, "key": key}
+
+    # ------------------------------------------------------------------ #
+    # Handling replies
+    # ------------------------------------------------------------------ #
+    def _on_get_reply(self, message: Message) -> None:
+        request_id = message.request_id
+        info = self._operations.pop(request_id, None)
+        if info is None:
+            return
+        callback = self._callbacks.pop(request_id, None)
+        started = self._started.pop(request_id, self.cluster.simulation.now)
+        key = message.payload["key"]
+        siblings = message.payload["siblings"]
+
+        read = _SyntheticRead(siblings, message.payload["mechanism_context"])
+        context = self.session.absorb_read(key, read, self.cluster.mechanism.name)
+        result = GetResult(
+            key=key,
+            values=[s.value for s in siblings],
+            siblings=list(siblings),
+            context=context,
+        )
+        self.records.append(RequestRecord(
+            operation="get",
+            key=key,
+            client_id=self.client_id,
+            started_at=started,
+            finished_at=self.cluster.simulation.now,
+            ok=True,
+            coordinator=message.payload["coordinator"],
+            sibling_count=len(siblings),
+            context_bytes=message.payload.get("context_bytes", 0),
+        ))
+        if callback is not None:
+            callback(result)
+
+    def _on_put_reply(self, message: Message) -> None:
+        request_id = message.request_id
+        info = self._operations.pop(request_id, None)
+        if info is None:
+            return
+        callback = self._callbacks.pop(request_id, None)
+        started = self._started.pop(request_id, self.cluster.simulation.now)
+        key = message.payload["key"]
+
+        # The put reply carries the post-write context (Riak's "return body"
+        # mode); absorbing it keeps the session able to chain further writes.
+        read = _SyntheticRead(message.payload["siblings"], message.payload["mechanism_context"])
+        context = self.session.absorb_read(key, read, self.cluster.mechanism.name)
+        result = PutResult(
+            key=key,
+            context=context,
+            coordinator=message.payload["coordinator"],
+            sibling=message.payload["sibling"],
+        )
+        self.records.append(RequestRecord(
+            operation="put",
+            key=key,
+            client_id=self.client_id,
+            started_at=started,
+            finished_at=self.cluster.simulation.now,
+            ok=True,
+            coordinator=message.payload["coordinator"],
+            sibling_count=len(message.payload["siblings"]),
+            context_bytes=message.payload.get("context_bytes", 0),
+        ))
+        if callback is not None:
+            callback(result)
+
+
+class _SyntheticRead:
+    """Adapter giving :meth:`ClientSession.absorb_read` the shape it expects."""
+
+    def __init__(self, siblings: Sequence[Sibling], context: Any) -> None:
+        self.siblings = list(siblings)
+        self.context = context
+
+
+class SimulatedCluster:
+    """A complete simulated deployment: servers, clients, ring, transport.
+
+    Parameters
+    ----------
+    mechanism:
+        Causality mechanism shared by all servers in this run.
+    server_ids:
+        Physical storage nodes.
+    quorum:
+        N / R / W configuration.
+    latency:
+        Latency model; defaults to a size-dependent model so metadata size
+        shows up in request latency (experiment E4).
+    seed:
+        Simulation seed (drives latency sampling and message loss).
+    loss_probability / duplicate_probability:
+        Transport unreliability knobs.
+    anti_entropy_interval_ms:
+        Period of the background replica synchronisation (None disables it).
+    """
+
+    def __init__(self,
+                 mechanism: CausalityMechanism,
+                 server_ids: Sequence[str] = ("A", "B", "C"),
+                 quorum: Optional[QuorumConfig] = None,
+                 latency: Optional[LatencyModel] = None,
+                 seed: int = 0,
+                 loss_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
+                 anti_entropy_interval_ms: Optional[float] = 100.0,
+                 virtual_nodes: int = 32,
+                 request_overhead_bytes: int = 64) -> None:
+        if not server_ids:
+            raise ConfigurationError("at least one server id is required")
+        self.mechanism = mechanism
+        self.quorum = quorum or QuorumConfig(n=min(3, len(server_ids)),
+                                             r=min(2, len(server_ids)),
+                                             w=min(2, len(server_ids)))
+        self.simulation = Simulation(seed=seed)
+        self.partitions = PartitionManager()
+        self.transport = Transport(
+            self.simulation,
+            latency=latency or SizeDependentLatency(),
+            loss_probability=loss_probability,
+            duplicate_probability=duplicate_probability,
+            partitions=self.partitions,
+        )
+        self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
+        self.membership = Membership(server_ids)
+        self.placement = PlacementService(self.ring, self.membership, self.quorum)
+        self.write_log = WriteLog()
+        self.request_overhead_bytes = request_overhead_bytes
+
+        self.servers: Dict[str, MessageServer] = {}
+        for server_id in server_ids:
+            server = MessageServer(server_id, mechanism, self)
+            self.servers[server_id] = server
+            self.transport.register(server_id, server.handle_message)
+
+        self.clients: Dict[str, SimulatedClient] = {}
+        self.anti_entropy: Optional[AntiEntropyDaemon] = None
+        if anti_entropy_interval_ms is not None and len(server_ids) > 1:
+            self.anti_entropy = AntiEntropyDaemon(
+                self.simulation,
+                self._trigger_sync,
+                list(server_ids),
+                interval_ms=anti_entropy_interval_ms,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Topology management
+    # ------------------------------------------------------------------ #
+    def client(self, client_id: str) -> SimulatedClient:
+        """Create (or return) the client node with the given id."""
+        if client_id in self.clients:
+            return self.clients[client_id]
+        client = SimulatedClient(client_id, self)
+        self.clients[client_id] = client
+        self.transport.register(client.address, client.handle_message)
+        return client
+
+    def _trigger_sync(self, source_id: str, target_id: str) -> None:
+        self.servers[source_id].start_sync_with(target_id)
+
+    def fail_node(self, server_id: str) -> None:
+        """Crash a server: it stops receiving messages and is marked down."""
+        self.membership.mark_down(server_id)
+        self.transport.unregister(server_id)
+
+    def recover_node(self, server_id: str) -> None:
+        """Bring a crashed server back (its pre-crash state is retained)."""
+        self.membership.mark_up(server_id)
+        if not self.transport.is_registered(server_id):
+            self.transport.register(server_id, self.servers[server_id].handle_message)
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Advance the simulation (delegates to :meth:`Simulation.run`)."""
+        self.simulation.run(until=until, max_events=max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> None:
+        """Stop background daemons and run every outstanding event."""
+        if self.anti_entropy is not None:
+            self.anti_entropy.stop()
+        self.simulation.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def all_request_records(self) -> List[RequestRecord]:
+        """Every request completed by every client, in completion order."""
+        records: List[RequestRecord] = []
+        for client in self.clients.values():
+            records.extend(client.records)
+        records.sort(key=lambda record: record.finished_at)
+        return records
+
+    def metadata_entries(self) -> int:
+        """Total causality-metadata entries stored across the cluster."""
+        return sum(server.node.metadata_entries() for server in self.servers.values())
+
+    def metadata_bytes(self) -> int:
+        """Total causality-metadata bytes stored across the cluster."""
+        return sum(server.node.metadata_bytes() for server in self.servers.values())
+
+    def sibling_counts(self, key: str) -> Dict[str, int]:
+        """Live sibling counts of ``key`` on every server."""
+        return {
+            server_id: len(server.node.siblings_of(key))
+            for server_id, server in self.servers.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SimulatedCluster(mechanism={self.mechanism.name!r}, "
+            f"servers={sorted(self.servers)}, clients={len(self.clients)})"
+        )

@@ -1,0 +1,89 @@
+"""Per-node versioned storage.
+
+Each storage node keeps, per key, the mechanism-specific state describing the
+key's live sibling versions.  The backend is a plain dictionary — durability
+is out of scope for the reproduction — but the interface mirrors what the
+metadata experiments need: besides get/put of states it can report, per key
+and in aggregate, how many metadata entries and encoded bytes the causality
+mechanism is holding (experiment E2's storage-footprint series).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..clocks.interface import CausalityMechanism
+
+
+class NodeStorage:
+    """The key → mechanism-state map of one storage node."""
+
+    def __init__(self, mechanism: CausalityMechanism) -> None:
+        self._mechanism = mechanism
+        self._states: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def mechanism(self) -> CausalityMechanism:
+        """The causality mechanism whose states this node stores."""
+        return self._mechanism
+
+    def get_state(self, key: str) -> Any:
+        """The stored state for ``key`` (the mechanism's empty state when absent)."""
+        if key in self._states:
+            return self._states[key]
+        return self._mechanism.empty_state()
+
+    def put_state(self, key: str, state: Any) -> None:
+        """Replace the stored state for ``key`` (dropping it when empty)."""
+        if self._mechanism.is_empty(state):
+            self._states.pop(key, None)
+        else:
+            self._states[key] = state
+
+    def delete(self, key: str) -> None:
+        """Remove a key entirely."""
+        self._states.pop(key, None)
+
+    def has_key(self, key: str) -> bool:
+        """True iff the node holds live versions for ``key``."""
+        return key in self._states
+
+    def keys(self) -> List[str]:
+        """All keys with live versions, sorted."""
+        return sorted(self._states)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(key, state)`` pairs in key order."""
+        for key in self.keys():
+            yield key, self._states[key]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._states
+
+    # ------------------------------------------------------------------ #
+    # Metadata accounting
+    # ------------------------------------------------------------------ #
+    def sibling_count(self, key: str) -> int:
+        """Number of live sibling versions stored for ``key``."""
+        return len(self._mechanism.siblings(self.get_state(key)))
+
+    def metadata_entries(self, key: Optional[str] = None) -> int:
+        """Causality-metadata entries stored for one key or for the whole node."""
+        if key is not None:
+            return self._mechanism.metadata_entries(self.get_state(key))
+        return sum(self._mechanism.metadata_entries(state) for state in self._states.values())
+
+    def metadata_bytes(self, key: Optional[str] = None) -> int:
+        """Encoded causality-metadata bytes stored for one key or for the whole node."""
+        if key is not None:
+            return self._mechanism.metadata_bytes(self.get_state(key))
+        return sum(self._mechanism.metadata_bytes(state) for state in self._states.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"NodeStorage(mechanism={self._mechanism.name!r}, keys={len(self._states)})"

@@ -1,0 +1,117 @@
+"""The oracle's write log: every write ever accepted, with its ground truth.
+
+The correctness experiments (E3, E5, the Figure 1 assertions) need to compare
+what a causality mechanism *kept* against what it *should* have kept.  The
+"should" side is computed from this log: a record per accepted write, carrying
+the write's ground-truth causal history (what the writing client had observed
+plus the write's own unique dot).  The log lives outside the mechanisms and
+outside the storage nodes, so no mechanism can influence it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..clocks.interface import Sibling
+from ..core.causal_history import CausalHistory
+from ..core.comparison import Ordering
+from ..core.dot import Dot
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One accepted write, as the oracle saw it."""
+
+    key: str
+    sibling: Sibling
+    server_id: str
+    client_id: str
+    timestamp: float = 0.0
+
+    @property
+    def origin_dot(self) -> Dot:
+        """Ground-truth unique id of the write."""
+        return self.sibling.origin_dot
+
+    @property
+    def history(self) -> CausalHistory:
+        """Ground-truth causal history of the write."""
+        return self.sibling.history
+
+
+class WriteLog:
+    """Append-only record of every write accepted by the store."""
+
+    def __init__(self) -> None:
+        self._records: List[WriteRecord] = []
+        self._by_key: Dict[str, List[WriteRecord]] = {}
+
+    def record(self, record: WriteRecord) -> None:
+        """Append a write record."""
+        self._records.append(record)
+        self._by_key.setdefault(record.key, []).append(record)
+
+    def append(self,
+               key: str,
+               sibling: Sibling,
+               server_id: str,
+               client_id: str,
+               timestamp: float = 0.0) -> WriteRecord:
+        """Convenience wrapper building and recording a :class:`WriteRecord`."""
+        record = WriteRecord(key, sibling, server_id, client_id, timestamp)
+        self.record(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def all_records(self) -> List[WriteRecord]:
+        """Every record, in acceptance order."""
+        return list(self._records)
+
+    def for_key(self, key: str) -> List[WriteRecord]:
+        """Records for one key, in acceptance order."""
+        return list(self._by_key.get(key, []))
+
+    def keys(self) -> List[str]:
+        """Keys that have at least one recorded write, sorted."""
+        return sorted(self._by_key)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WriteRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Ground-truth relations
+    # ------------------------------------------------------------------ #
+    def latest_frontier(self, key: str) -> List[WriteRecord]:
+        """The writes of ``key`` that no other write causally dominates.
+
+        This is the ground-truth set of versions a perfectly precise store
+        would expose after all replicas converge: everything not superseded by a
+        causally later write.  The analysis layer compares each mechanism's
+        surviving siblings against this frontier.
+        """
+        records = self.for_key(key)
+        frontier: List[WriteRecord] = []
+        for candidate in records:
+            dominated = False
+            for other in records:
+                if other is candidate:
+                    continue
+                if candidate.history.compare(other.history) is Ordering.BEFORE:
+                    dominated = True
+                    break
+            if not dominated:
+                frontier.append(candidate)
+        return frontier
+
+    def record_for_dot(self, key: str, dot: Dot) -> Optional[WriteRecord]:
+        """The write of ``key`` whose origin dot is ``dot`` (None if unknown)."""
+        for record in self._by_key.get(key, []):
+            if record.origin_dot == dot:
+                return record
+        return None

@@ -1,0 +1,36 @@
+"""Simulated network substrate: event loop, transport, latency and partitions.
+
+This subpackage replaces the physical cluster of the paper's Riak evaluation
+with a deterministic discrete-event simulation.  See ``DESIGN.md`` §5 for why
+the substitution preserves the behaviours the experiments measure.
+"""
+
+from .latency import (
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PerLinkLatency,
+    SizeDependentLatency,
+    UniformLatency,
+)
+from .message import Message, MessageType
+from .partition import PartitionManager
+from .simulator import EventHandle, PeriodicTask, Simulation
+from .transport import Transport, TransportStats
+
+__all__ = [
+    "EventHandle",
+    "FixedLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "MessageType",
+    "PartitionManager",
+    "PerLinkLatency",
+    "PeriodicTask",
+    "Simulation",
+    "SizeDependentLatency",
+    "Transport",
+    "TransportStats",
+    "UniformLatency",
+]

@@ -1,0 +1,91 @@
+"""Network partition injection for the simulated cluster.
+
+Concurrent versions arise in Dynamo-style stores for two reasons: clients
+racing on the same key, and replicas accepting writes while partitioned from
+each other.  The paper's Figure 1 shows the first; the store's integration
+tests and the sibling experiment (E5) also exercise the second, using this
+module to cut and heal links between groups of nodes during a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+class PartitionManager:
+    """Tracks which node pairs can currently communicate.
+
+    By default every pair is connected.  A partition is expressed as a list of
+    disjoint groups: nodes in different groups cannot exchange messages until
+    :meth:`heal` is called.  Individual links can also be cut independently of
+    group partitions (e.g. a single flaky cable).
+    """
+
+    def __init__(self) -> None:
+        self._groups: List[FrozenSet[str]] = []
+        self._cut_links: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Group partitions
+    # ------------------------------------------------------------------ #
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the cluster into the given disjoint groups.
+
+        Nodes not mentioned in any group remain able to talk to everyone
+        (they are treated as belonging to every group).
+        """
+        frozen = [frozenset(group) for group in groups]
+        seen: Set[str] = set()
+        for group in frozen:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"nodes {sorted(overlap)} appear in more than one group")
+            seen |= group
+        self._groups = frozen
+
+    def heal(self) -> None:
+        """Remove every group partition (cut links stay cut)."""
+        self._groups = []
+
+    # ------------------------------------------------------------------ #
+    # Individual links
+    # ------------------------------------------------------------------ #
+    def cut_link(self, a: str, b: str) -> None:
+        """Make the (bidirectional) link between ``a`` and ``b`` unusable."""
+        self._cut_links.add((a, b))
+        self._cut_links.add((b, a))
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Restore a previously cut link."""
+        self._cut_links.discard((a, b))
+        self._cut_links.discard((b, a))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def can_communicate(self, a: str, b: str) -> bool:
+        """True iff a message from ``a`` can currently reach ``b``."""
+        if a == b:
+            return True
+        if (a, b) in self._cut_links:
+            return False
+        if not self._groups:
+            return True
+        group_a = self._group_of(a)
+        group_b = self._group_of(b)
+        if group_a is None or group_b is None:
+            return True
+        return group_a == group_b
+
+    def _group_of(self, node: str) -> "FrozenSet[str] | None":
+        for group in self._groups:
+            if node in group:
+                return group
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        """Snapshot of the current partition state (diagnostics)."""
+        return {
+            "groups": [sorted(group) for group in self._groups],
+            "cut_links": sorted({tuple(sorted(link)) for link in self._cut_links}),
+        }

@@ -1,0 +1,167 @@
+"""Simulated message transport: delays, drops, duplicates, partitions.
+
+The transport is the only way nodes in the simulated store talk to each other.
+It is intentionally unreliable-by-configuration: messages can be delayed
+according to a :class:`~repro.network.latency.LatencyModel`, dropped with a
+configurable probability, duplicated, and blocked entirely by a
+:class:`~repro.network.partition.PartitionManager`.  The storage layer above
+it must therefore tolerate exactly the failure modes a real Dynamo-style
+deployment tolerates, which keeps the substitution for the paper's Riak
+cluster honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.exceptions import ConfigurationError, SimulationError
+from .latency import FixedLatency, LatencyModel, PerLinkLatency
+from .message import Message
+from .partition import PartitionManager
+from .simulator import Simulation
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class TransportStats:
+    """Counters the transport maintains for analysis and debugging."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_loss: int = 0
+    dropped_unknown_destination: int = 0
+    duplicated: int = 0
+    bytes_sent: int = 0
+    per_type: Dict[str, int] = field(default_factory=dict)
+
+    def record_type(self, msg_type: str) -> None:
+        self.per_type[msg_type] = self.per_type.get(msg_type, 0) + 1
+
+
+class Transport:
+    """Delivers messages between registered nodes through the simulation.
+
+    Parameters
+    ----------
+    simulation:
+        The event loop that owns virtual time and randomness.
+    latency:
+        One-way delay model.  A :class:`PerLinkLatency` wrapper is honoured
+        per (sender, receiver) pair.
+    loss_probability:
+        Probability that any given message is silently dropped.
+    duplicate_probability:
+        Probability that a delivered message is delivered a second time
+        (slightly later), exercising idempotence of the store's handlers.
+    partitions:
+        Optional partition manager; when absent the cluster is fully connected.
+    """
+
+    def __init__(self,
+                 simulation: Simulation,
+                 latency: Optional[LatencyModel] = None,
+                 loss_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
+                 partitions: Optional[PartitionManager] = None) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(f"loss_probability must be in [0, 1), got {loss_probability}")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ConfigurationError(
+                f"duplicate_probability must be in [0, 1), got {duplicate_probability}"
+            )
+        self.simulation = simulation
+        self.latency = latency or FixedLatency(1.0)
+        self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
+        self.partitions = partitions or PartitionManager()
+        self.stats = TransportStats()
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._trace: List[Message] = []
+        self.trace_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        """Register the message handler of a node (client or server)."""
+        if node_id in self._handlers:
+            raise ConfigurationError(f"node {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Remove a node (messages to it are then counted as undeliverable)."""
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: str) -> bool:
+        """True iff a handler is registered for ``node_id``."""
+        return node_id in self._handlers
+
+    def nodes(self) -> List[str]:
+        """Identifiers of all registered nodes."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, message: Message) -> None:
+        """Send ``message``; delivery (if any) happens via the simulation."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        self.stats.record_type(message.msg_type.value)
+        if self.trace_enabled:
+            self._trace.append(message)
+
+        if not self.partitions.can_communicate(message.sender, message.receiver):
+            self.stats.dropped_partition += 1
+            return
+        if message.receiver not in self._handlers:
+            self.stats.dropped_unknown_destination += 1
+            return
+        rng = self.simulation.rng
+        if self.loss_probability and rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return
+
+        delay = self._sample_delay(message)
+        self.simulation.schedule(delay, lambda: self._deliver(message),
+                                 label=f"deliver:{message.msg_type.value}")
+        if self.duplicate_probability and rng.random() < self.duplicate_probability:
+            self.stats.duplicated += 1
+            extra_delay = delay + self._sample_delay(message)
+            self.simulation.schedule(extra_delay, lambda: self._deliver(message),
+                                     label=f"deliver-dup:{message.msg_type.value}")
+
+    def _sample_delay(self, message: Message) -> float:
+        model = self.latency
+        if isinstance(model, PerLinkLatency):
+            model = model.for_link(message.sender, message.receiver)
+        return model.sample(self.simulation.rng, message.size_bytes)
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.receiver)
+        if handler is None:
+            self.stats.dropped_unknown_destination += 1
+            return
+        self.stats.delivered += 1
+        handler(message)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def trace(self) -> List[Message]:
+        """Messages sent while :attr:`trace_enabled` was on (testing aid)."""
+        return list(self._trace)
+
+    def clear_trace(self) -> None:
+        """Discard the recorded trace."""
+        self._trace.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Transport(nodes={len(self._handlers)}, sent={self.stats.sent}, "
+            f"delivered={self.stats.delivered})"
+        )

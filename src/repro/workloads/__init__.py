@@ -1,0 +1,43 @@
+"""Workloads: the Figure 1 trace, named scenarios, synthetic generators, drivers."""
+
+from .clients import ClosedLoopClient, ClosedLoopConfig, run_closed_loop_workload
+from .generator import WorkloadConfig, WorkloadGenerator, generate_workload
+from .scenarios import (
+    Figure1Result,
+    Figure1Step,
+    concurrent_writers_trace,
+    figure1_trace,
+    interleaved_two_server_trace,
+    named_scenarios,
+    read_modify_write_chain_trace,
+    replay_scenario,
+    run_figure1,
+    run_figure1_by_name,
+    session_reset_trace,
+)
+from .traces import Operation, OpType, ReplayResult, Trace, replay_trace
+
+__all__ = [
+    "ClosedLoopClient",
+    "ClosedLoopConfig",
+    "Figure1Result",
+    "Figure1Step",
+    "Operation",
+    "OpType",
+    "ReplayResult",
+    "Trace",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "concurrent_writers_trace",
+    "figure1_trace",
+    "generate_workload",
+    "interleaved_two_server_trace",
+    "named_scenarios",
+    "read_modify_write_chain_trace",
+    "replay_scenario",
+    "replay_trace",
+    "run_closed_loop_workload",
+    "run_figure1",
+    "run_figure1_by_name",
+    "session_reset_trace",
+]

@@ -1,0 +1,149 @@
+"""Client behaviour drivers for the simulated (message-passing) cluster.
+
+The synchronous store replays :class:`~repro.workloads.traces.Trace` objects;
+the simulated cluster instead needs *drivers* — objects that issue a request,
+wait for its reply (an event-loop callback), think for a while, and issue the
+next one.  The closed-loop read-modify-write driver below is the workload the
+latency experiment (E4) uses: it is the access pattern the paper's Riak
+evaluation models (clients updating objects they previously fetched).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..kvstore.simulated import SimulatedClient, SimulatedCluster
+
+
+@dataclass
+class ClosedLoopConfig:
+    """Parameters of a closed-loop read-modify-write client.
+
+    Attributes
+    ----------
+    keys:
+        The keys this client operates on (chosen uniformly per operation).
+    think_time_ms:
+        Mean exponential think time between completing one operation and
+        starting the next.
+    write_fraction:
+        Fraction of operations that are writes; a write is always preceded by
+        the read whose context it uses (read-modify-write), unless
+        ``blind_write_fraction`` strikes.
+    blind_write_fraction:
+        Fraction of writes issued without a context (careless client).
+    stop_at_ms:
+        Simulated time after which the driver stops issuing new operations.
+    """
+
+    keys: Sequence[str] = ("key-0",)
+    think_time_ms: float = 5.0
+    write_fraction: float = 0.5
+    blind_write_fraction: float = 0.0
+    stop_at_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ConfigurationError("closed-loop driver needs at least one key")
+        if self.think_time_ms < 0:
+            raise ConfigurationError("think time must be non-negative")
+        for name in ("write_fraction", "blind_write_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+class ClosedLoopClient:
+    """A closed-loop read-modify-write driver over one simulated client."""
+
+    def __init__(self,
+                 cluster: SimulatedCluster,
+                 client_id: str,
+                 config: ClosedLoopConfig,
+                 seed: Optional[int] = None) -> None:
+        self.cluster = cluster
+        self.client: SimulatedClient = cluster.client(client_id)
+        self.config = config
+        self._rng = random.Random(seed if seed is not None else hash(client_id) & 0xFFFF)
+        self._operation_counter = 0
+        self.operations_started = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, initial_delay_ms: Optional[float] = None) -> None:
+        """Schedule the driver's first operation."""
+        delay = initial_delay_ms if initial_delay_ms is not None else self._think_time()
+        self.cluster.simulation.schedule(delay, self._next_operation,
+                                         label=f"client-loop:{self.client.client_id}")
+
+    def stop(self) -> None:
+        """Stop issuing new operations (in-flight ones still complete)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+    def _next_operation(self) -> None:
+        if self._stopped or self.cluster.simulation.now >= self.config.stop_at_ms:
+            return
+        self.operations_started += 1
+        key = self._rng.choice(list(self.config.keys))
+        if self._rng.random() < self.config.write_fraction:
+            self._read_modify_write(key)
+        else:
+            self.client.get(key, lambda _result: self._after_operation())
+
+    def _read_modify_write(self, key: str) -> None:
+        self._operation_counter += 1
+        value = f"{self.client.client_id}:v{self._operation_counter}"
+        blind = self._rng.random() < self.config.blind_write_fraction
+
+        if blind:
+            self.client.put(key, value, lambda _result: self._after_operation(),
+                            use_context=False)
+            return
+
+        def after_read(_result) -> None:
+            self.client.put(key, value, lambda _r: self._after_operation())
+
+        self.client.get(key, after_read)
+
+    def _after_operation(self) -> None:
+        if self._stopped:
+            return
+        self.cluster.simulation.schedule(self._think_time(), self._next_operation,
+                                         label=f"client-loop:{self.client.client_id}")
+
+    def _think_time(self) -> float:
+        if self.config.think_time_ms == 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / self.config.think_time_ms)
+
+
+def run_closed_loop_workload(cluster: SimulatedCluster,
+                             client_count: int,
+                             config: ClosedLoopConfig,
+                             drain: bool = True) -> List[ClosedLoopClient]:
+    """Start ``client_count`` closed-loop drivers and run the simulation.
+
+    The simulation runs until ``config.stop_at_ms`` and then (when ``drain``)
+    until every in-flight request and background task has completed.  Returns
+    the drivers (whose underlying clients hold the request records).
+    """
+    drivers = [
+        ClosedLoopClient(cluster, f"client-{index}", config, seed=index)
+        for index in range(client_count)
+    ]
+    for driver in drivers:
+        driver.start(initial_delay_ms=driver._rng.uniform(0, config.think_time_ms or 1.0))
+    cluster.run(until=config.stop_at_ms)
+    for driver in drivers:
+        driver.stop()
+    if drain:
+        cluster.drain()
+    return drivers

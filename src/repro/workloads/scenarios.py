@@ -1,0 +1,275 @@
+"""Hand-written scenarios, including the paper's Figure 1 trace.
+
+Figure 1 of the brief announcement follows a single object replicated on two
+servers (A and B) while two clients interact with it:
+
+1. a client reads the (empty) key and writes ``v1`` through server A;
+2. a second client reads (seeing ``v1``) — and holds on to that context;
+3. the first client reads again and writes ``v2`` through A
+   (``v2`` causally follows ``v1``);
+4. the second client now writes ``v3`` through A using its stale context —
+   ``v3`` is concurrent with ``v2``;
+5. server A synchronises with server B (the dotted arrow in the figure);
+6. a client reads at B (seeing both ``v2`` and ``v3``), writes ``v4``
+   through B, resolving the conflict;
+7. the servers synchronise again, converging on ``v4`` everywhere.
+
+Under causal histories (Figure 1a) and dotted version vectors (Figure 1c) the
+concurrent pair ``v2 ∥ v3`` is preserved until step 6 resolves it.  Under
+per-server version vectors (Figure 1b) the identifier minted for ``v3``
+dominates ``v2``'s, so ``v2`` is silently discarded when the servers
+synchronise — the lost update the paper illustrates.
+
+Besides Figure 1, this module provides smaller named scenarios used by tests
+and benchmarks (concurrent blind writers, read-modify-write chains, session
+resets) so the experiments exercise more shapes than the single figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..clocks.interface import CausalityMechanism
+from ..clocks.registry import create as create_mechanism
+from ..core.comparison import Ordering
+from .traces import ReplayResult, Trace, replay_trace
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1
+# --------------------------------------------------------------------------- #
+def figure1_trace() -> Trace:
+    """The exact interaction trace of Figure 1 (both servers, both clients)."""
+    trace = Trace(server_ids=("A", "B"), name="figure1")
+    # Step 1: client c1 reads the empty key and writes v1 through A.
+    trace.get("c1", "obj", server="A")
+    trace.put("c1", "obj", "v1", server="A")
+    # Step 2: client c2 reads (sees v1) and keeps the context for later.
+    trace.get("c2", "obj", server="A")
+    # Step 3: client c1 reads again and writes v2 (causally after v1).
+    trace.get("c1", "obj", server="A")
+    trace.put("c1", "obj", "v2", server="A")
+    # Step 4: client c2 writes v3 with its stale context — concurrent with v2.
+    trace.put("c2", "obj", "v3", server="A")
+    # Step 5: servers synchronise (A -> B).
+    trace.sync("A", "B")
+    # Step 6: client c3 reads at B (sees the surviving versions) and writes v4.
+    trace.get("c3", "obj", server="B")
+    trace.put("c3", "obj", "v4", server="B")
+    # Step 7: final synchronisation.
+    trace.sync("B", "A")
+    return trace
+
+
+@dataclass
+class Figure1Step:
+    """State snapshot after one step of the Figure 1 replay."""
+
+    label: str
+    values_at_a: List[str]
+    values_at_b: List[str]
+
+
+@dataclass
+class Figure1Result:
+    """Everything the Figure 1 experiment reports for one mechanism."""
+
+    mechanism: str
+    steps: List[Figure1Step] = field(default_factory=list)
+    values_after_concurrent_writes: List[str] = field(default_factory=list)
+    values_at_b_after_sync: List[str] = field(default_factory=list)
+    final_values: List[str] = field(default_factory=list)
+    concurrency_preserved: bool = False
+    lost_update: bool = False
+    converged_to_single_value: bool = False
+
+
+def run_figure1(mechanism: CausalityMechanism) -> Figure1Result:
+    """Replay Figure 1 under ``mechanism`` and report what the figure shows.
+
+    The replay is done step by step (rather than via :func:`replay_trace`) so
+    the intermediate states — the annotations next to each circle in the
+    figure — can be captured.
+    """
+    from ..kvstore.client import ClientSession
+    from ..kvstore.sync_store import SyncReplicatedStore
+
+    store = SyncReplicatedStore(mechanism, server_ids=("A", "B"))
+    c1, c2, c3 = ClientSession("c1"), ClientSession("c2"), ClientSession("c3")
+    result = Figure1Result(mechanism=mechanism.name)
+
+    def snapshot(label: str) -> None:
+        result.steps.append(Figure1Step(
+            label=label,
+            values_at_a=sorted(store.values("obj", "A")),
+            values_at_b=sorted(store.values("obj", "B")),
+        ))
+
+    # Step 1: c1 writes v1 through A after reading the empty key.
+    c1.get(store, "obj", server_id="A")
+    c1.put(store, "obj", "v1", server_id="A")
+    snapshot("c1 writes v1 at A")
+
+    # Step 2: c2 reads v1 (context kept for step 4).
+    c2.get(store, "obj", server_id="A")
+    snapshot("c2 reads v1 at A")
+
+    # Step 3: c1 reads and writes v2 (supersedes v1).
+    c1.get(store, "obj", server_id="A")
+    c1.put(store, "obj", "v2", server_id="A")
+    snapshot("c1 writes v2 at A")
+
+    # Step 4: c2 writes v3 with its stale context — concurrent with v2.
+    c2.put(store, "obj", "v3", server_id="A")
+    snapshot("c2 writes v3 at A (stale context)")
+    result.values_after_concurrent_writes = sorted(store.values("obj", "A"))
+
+    # Step 5: servers synchronise.
+    store.sync_key("obj", "A", "B")
+    snapshot("A syncs with B")
+    result.values_at_b_after_sync = sorted(store.values("obj", "B"))
+
+    # The paper's correctness criterion: after the concurrent writes and the
+    # sync, both v2 and v3 must still be visible (at either replica).
+    result.concurrency_preserved = (
+        set(result.values_after_concurrent_writes) >= {"v2", "v3"}
+        and set(result.values_at_b_after_sync) >= {"v2", "v3"}
+    )
+    result.lost_update = not result.concurrency_preserved
+
+    # Step 6: c3 reads at B and writes v4 resolving the conflict.
+    c3.get(store, "obj", server_id="B")
+    c3.put(store, "obj", "v4", server_id="B")
+    snapshot("c3 writes v4 at B")
+
+    # Step 7: final sync; both replicas converge.
+    store.sync_key("obj", "B", "A")
+    snapshot("final sync")
+    result.final_values = sorted(store.values("obj", "A"))
+    result.converged_to_single_value = (
+        store.values("obj", "A") == store.values("obj", "B")
+        and len(store.values("obj", "A")) == 1
+    )
+    return result
+
+
+def run_figure1_by_name(mechanism_name: str) -> Figure1Result:
+    """Replay Figure 1 for a registry mechanism name."""
+    return run_figure1(create_mechanism(mechanism_name))
+
+
+# --------------------------------------------------------------------------- #
+# Other named scenarios
+# --------------------------------------------------------------------------- #
+def concurrent_writers_trace(writers: int = 4,
+                             rounds: int = 1,
+                             server_ids: Sequence[str] = ("A", "B", "C")) -> Trace:
+    """``writers`` clients all write the same key from the same (empty) context.
+
+    Ground truth: after one round every write is concurrent with every other,
+    so a precise mechanism keeps ``writers`` siblings.  Used by the sibling
+    experiment (E5).
+    """
+    trace = Trace(server_ids=tuple(server_ids), name=f"concurrent_writers({writers})")
+    servers = list(server_ids)
+    for round_index in range(rounds):
+        # Everyone reads first (same context), then everyone writes.
+        for writer_index in range(writers):
+            client = f"w{writer_index}"
+            server = servers[writer_index % len(servers)]
+            trace.get(client, "contested", server=server)
+        for writer_index in range(writers):
+            client = f"w{writer_index}"
+            server = servers[writer_index % len(servers)]
+            trace.put(client, "contested", f"{client}-r{round_index}", server=server)
+        trace.sync_all()
+    return trace
+
+
+def read_modify_write_chain_trace(clients: int = 3,
+                                  length: int = 5,
+                                  server_ids: Sequence[str] = ("A", "B")) -> Trace:
+    """Clients take turns doing read-modify-write — no concurrency at all.
+
+    Ground truth: a single surviving version.  Useful as the negative control:
+    every mechanism, even the inexact ones, must get this right.
+    """
+    trace = Trace(server_ids=tuple(server_ids), name="rmw_chain")
+    servers = list(server_ids)
+    turn = 0
+    for _ in range(length):
+        for client_index in range(clients):
+            client = f"c{client_index}"
+            server = servers[turn % len(servers)]
+            trace.get(client, "chain", server=server)
+            trace.put(client, "chain", f"{client}-step{turn}", server=server)
+            trace.sync_all()
+            turn += 1
+    return trace
+
+
+def session_reset_trace(clients: int = 4,
+                        resets: int = 3,
+                        server_ids: Sequence[str] = ("A", "B", "C")) -> Trace:
+    """Clients repeatedly lose their context and blind-write.
+
+    Ground truth: blind writes are concurrent with whatever they did not read,
+    so siblings accumulate until someone does a read-modify-write.  Exercises
+    the sibling-growth behaviour of every mechanism under careless clients.
+    """
+    trace = Trace(server_ids=tuple(server_ids), name="session_resets")
+    servers = list(server_ids)
+    for reset_round in range(resets):
+        for client_index in range(clients):
+            client = f"c{client_index}"
+            server = servers[client_index % len(servers)]
+            trace.blind_put(client, "careless", f"{client}-blind{reset_round}", server=server)
+        trace.sync_all()
+    # A final reader cleans up.
+    trace.get("resolver", "careless", server=servers[0])
+    trace.put("resolver", "careless", "resolved", server=servers[0])
+    trace.sync_all()
+    return trace
+
+
+def interleaved_two_server_trace(pairs: int = 4) -> Trace:
+    """Writers alternate between two coordinators without reading in between.
+
+    This interleaving makes per-server version vectors mint identifiers on both
+    servers for causally unrelated writes, and gives the WinFS-style VVE
+    baseline non-contiguous histories (exceptions) — used by experiment E6.
+    """
+    trace = Trace(server_ids=("A", "B"), name="interleaved_two_server")
+    for pair_index in range(pairs):
+        trace.get(f"left-{pair_index}", "shared", server="A")
+        trace.get(f"right-{pair_index}", "shared", server="B")
+        trace.put(f"left-{pair_index}", "shared", f"left-{pair_index}", server="A")
+        trace.put(f"right-{pair_index}", "shared", f"right-{pair_index}", server="B")
+        if pair_index % 2 == 1:
+            trace.sync_all()
+    trace.sync_all()
+    return trace
+
+
+SCENARIOS: Dict[str, Trace] = {}
+
+
+def named_scenarios() -> Dict[str, Trace]:
+    """Fresh copies of every named scenario trace (excluding Figure 1)."""
+    return {
+        "concurrent_writers": concurrent_writers_trace(),
+        "rmw_chain": read_modify_write_chain_trace(),
+        "session_resets": session_reset_trace(),
+        "interleaved_two_server": interleaved_two_server_trace(),
+    }
+
+
+def replay_scenario(name: str, mechanism: CausalityMechanism) -> ReplayResult:
+    """Replay one named scenario under ``mechanism``."""
+    scenarios = named_scenarios()
+    if name == "figure1":
+        return replay_trace(figure1_trace(), mechanism)
+    if name not in scenarios:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(scenarios) + ['figure1']}")
+    return replay_trace(scenarios[name], mechanism)

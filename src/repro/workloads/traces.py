@@ -1,0 +1,186 @@
+"""Operation traces: record once, replay under every mechanism.
+
+The comparison the paper makes only means something when every mechanism sees
+*exactly* the same client behaviour.  A :class:`Trace` is a mechanism-agnostic
+list of client operations (reads, writes, blind writes, session resets,
+replica syncs); :func:`replay_trace` executes a trace against a fresh
+synchronous store configured with the mechanism under test and returns the
+store (plus its write log) for the analysis layer to judge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..clocks.interface import CausalityMechanism
+from ..core.exceptions import WorkloadError
+from ..kvstore.client import ClientSession
+from ..kvstore.sync_store import SyncReplicatedStore
+
+
+class OpType(enum.Enum):
+    """Kinds of steps a trace can contain."""
+
+    GET = "get"
+    PUT = "put"
+    BLIND_PUT = "blind_put"
+    FORGET = "forget"          # client drops its context for the key (session reset)
+    SYNC = "sync"              # anti-entropy between two named servers
+    SYNC_ALL = "sync_all"      # one full round of pairwise anti-entropy
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One trace step.
+
+    ``server`` selects the coordinating replica for GET/PUT (None lets the
+    store pick); for SYNC it is the source replica and ``target_server`` the
+    destination.
+    """
+
+    op: OpType
+    client: Optional[str] = None
+    key: Optional[str] = None
+    value: Any = None
+    server: Optional[str] = None
+    target_server: Optional[str] = None
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` when the step is malformed."""
+        if self.op in (OpType.GET, OpType.PUT, OpType.BLIND_PUT, OpType.FORGET):
+            if not self.client or not self.key:
+                raise WorkloadError(f"{self.op.value} requires client and key: {self}")
+        if self.op in (OpType.PUT, OpType.BLIND_PUT) and self.value is None:
+            raise WorkloadError(f"{self.op.value} requires a value: {self}")
+        if self.op is OpType.SYNC and (not self.server or not self.target_server):
+            raise WorkloadError(f"sync requires server and target_server: {self}")
+
+
+@dataclass
+class Trace:
+    """An ordered list of operations plus the topology it assumes."""
+
+    operations: List[Operation] = field(default_factory=list)
+    server_ids: Sequence[str] = ("A", "B", "C")
+    name: str = "trace"
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def append(self, operation: Operation) -> None:
+        """Validate and append one step."""
+        operation.validate()
+        self.operations.append(operation)
+
+    def extend(self, operations: Iterable[Operation]) -> None:
+        """Validate and append several steps."""
+        for operation in operations:
+            self.append(operation)
+
+    def clients(self) -> List[str]:
+        """All client ids referenced by the trace, sorted."""
+        return sorted({op.client for op in self.operations if op.client})
+
+    def keys(self) -> List[str]:
+        """All keys referenced by the trace, sorted."""
+        return sorted({op.key for op in self.operations if op.key})
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    # Convenience builders -------------------------------------------------
+    def get(self, client: str, key: str, server: Optional[str] = None) -> "Trace":
+        """Append a GET step (returns self for chaining)."""
+        self.append(Operation(OpType.GET, client=client, key=key, server=server))
+        return self
+
+    def put(self, client: str, key: str, value: Any, server: Optional[str] = None) -> "Trace":
+        """Append a context-carrying PUT step."""
+        self.append(Operation(OpType.PUT, client=client, key=key, value=value, server=server))
+        return self
+
+    def blind_put(self, client: str, key: str, value: Any,
+                  server: Optional[str] = None) -> "Trace":
+        """Append a blind (context-less) PUT step."""
+        self.append(Operation(OpType.BLIND_PUT, client=client, key=key, value=value,
+                              server=server))
+        return self
+
+    def forget(self, client: str, key: str) -> "Trace":
+        """Append a session-reset step."""
+        self.append(Operation(OpType.FORGET, client=client, key=key))
+        return self
+
+    def sync(self, source: str, target: str) -> "Trace":
+        """Append an anti-entropy step between two replicas."""
+        self.append(Operation(OpType.SYNC, server=source, target_server=target))
+        return self
+
+    def sync_all(self) -> "Trace":
+        """Append a full pairwise anti-entropy round."""
+        self.append(Operation(OpType.SYNC_ALL))
+        return self
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace under one mechanism."""
+
+    store: SyncReplicatedStore
+    clients: Dict[str, ClientSession]
+    trace: Trace
+
+    @property
+    def mechanism_name(self) -> str:
+        """Name of the mechanism the trace was replayed under."""
+        return self.store.mechanism.name
+
+
+def replay_trace(trace: Trace,
+                 mechanism: CausalityMechanism,
+                 replicate_on_write: bool = False) -> ReplayResult:
+    """Execute ``trace`` against a fresh synchronous store using ``mechanism``."""
+    store = SyncReplicatedStore(
+        mechanism,
+        server_ids=tuple(trace.server_ids),
+        replicate_on_write=replicate_on_write,
+    )
+    clients: Dict[str, ClientSession] = {
+        client_id: ClientSession(client_id) for client_id in trace.clients()
+    }
+    for operation in trace:
+        _apply(store, clients, operation)
+    return ReplayResult(store=store, clients=clients, trace=trace)
+
+
+def _apply(store: SyncReplicatedStore,
+           clients: Dict[str, ClientSession],
+           operation: Operation) -> None:
+    if operation.op is OpType.GET:
+        clients[operation.client].get(store, operation.key, server_id=operation.server)
+    elif operation.op is OpType.PUT:
+        clients[operation.client].put(store, operation.key, operation.value,
+                                      server_id=operation.server)
+    elif operation.op is OpType.BLIND_PUT:
+        clients[operation.client].put(store, operation.key, operation.value,
+                                      server_id=operation.server, use_context=False)
+    elif operation.op is OpType.FORGET:
+        clients[operation.client].forget(operation.key)
+    elif operation.op is OpType.SYNC:
+        store.sync_key(operation.key, operation.server, operation.target_server) \
+            if operation.key else _sync_all_keys(store, operation.server, operation.target_server)
+    elif operation.op is OpType.SYNC_ALL:
+        store.sync_all()
+    else:  # pragma: no cover - defensive
+        raise WorkloadError(f"unhandled operation {operation.op}")
+
+
+def _sync_all_keys(store: SyncReplicatedStore, source: str, target: str) -> None:
+    keys = set()
+    for node in store.servers.values():
+        keys.update(node.storage.keys())
+    for key in sorted(keys):
+        store.sync_key(key, source, target)

@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.clocks.lamport`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import LamportClock, LamportTimestamp
+from repro.core import InvalidClockError
+
+
+class TestLamportTimestamp:
+    def test_ordering_by_time_then_actor(self):
+        assert LamportTimestamp(1, "A") < LamportTimestamp(2, "A")
+        assert LamportTimestamp(1, "A") < LamportTimestamp(1, "B")
+
+    def test_validation(self):
+        with pytest.raises(InvalidClockError):
+            LamportTimestamp(-1, "A")
+        with pytest.raises(InvalidClockError):
+            LamportTimestamp(0, "")
+
+
+class TestLamportClock:
+    def test_tick_monotonic(self):
+        clock = LamportClock("A")
+        first = clock.tick()
+        second = clock.tick()
+        assert first < second
+        assert second.time == 2
+
+    def test_observe_jumps_past_received_timestamp(self):
+        a = LamportClock("A")
+        b = LamportClock("B", start=10)
+        stamp = b.tick()
+        received = a.observe(stamp)
+        assert received.time == stamp.time + 1
+        assert a.time == stamp.time + 1
+
+    def test_observe_of_older_timestamp_still_advances(self):
+        a = LamportClock("A", start=5)
+        received = a.observe(LamportTimestamp(1, "B"))
+        assert received.time == 6
+
+    def test_peek_does_not_advance(self):
+        clock = LamportClock("A")
+        assert clock.peek().time == 1
+        assert clock.time == 0
+
+    def test_causal_delivery_order_is_respected(self):
+        """If e1 happened before e2 (message chain), ts(e1) < ts(e2)."""
+        a, b, c = LamportClock("A"), LamportClock("B"), LamportClock("C")
+        send_a = a.tick()
+        recv_b = b.observe(send_a)
+        send_b = b.tick()
+        recv_c = c.observe(send_b)
+        assert send_a < recv_b < send_b < recv_c
+
+    def test_validation(self):
+        with pytest.raises(InvalidClockError):
+            LamportClock("")
+        with pytest.raises(InvalidClockError):
+            LamportClock("A", start=-3)

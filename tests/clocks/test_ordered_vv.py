@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.clocks.ordered_vv` (Wang & Amza baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import OrderedVersionVector
+from repro.core import InvalidClockError, Ordering
+
+
+class TestConstruction:
+    def test_empty(self):
+        vv = OrderedVersionVector.empty()
+        assert len(vv) == 0
+        assert vv.last_writer is None
+
+    def test_invalid_last_writer_rejected(self):
+        with pytest.raises(InvalidClockError):
+            OrderedVersionVector({"A": 1}, last_writer="B")
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(InvalidClockError):
+            OrderedVersionVector({"A": -1})
+
+
+class TestIncrementAndMerge:
+    def test_increment_records_last_writer(self):
+        vv = OrderedVersionVector.empty().increment("A")
+        assert vv.last_writer == "A"
+        assert vv.get("A") == 1
+        assert not vv.from_merge
+
+    def test_merge_loses_single_writer_property(self):
+        a = OrderedVersionVector.empty().increment("A")
+        b = OrderedVersionVector.empty().increment("B")
+        merged = a.merge(b)
+        assert merged.from_merge
+        assert merged.last_writer is None
+        assert merged.get("A") == 1 and merged.get("B") == 1
+
+    def test_to_version_vector(self):
+        vv = OrderedVersionVector.empty().increment("A").increment("B").increment("A")
+        assert vv.to_version_vector().entries() == {"A": 2, "B": 1}
+
+
+class TestComparison:
+    def test_o1_dominance_on_successor_chain(self):
+        base = OrderedVersionVector.empty().increment("A")
+        successor = base.increment("B")
+        assert base.dominated_by(successor)
+        assert not successor.dominated_by(base)
+        assert base.compare(successor) is Ordering.BEFORE
+        # no fallback comparisons were needed on this chain
+        assert base.fallback_comparisons == 0
+
+    def test_concurrent_versions_detected(self):
+        base = OrderedVersionVector.empty().increment("A")
+        left = base.increment("A")
+        right = base.increment("B")
+        assert left.compare(right) is Ordering.CONCURRENT
+
+    def test_equal(self):
+        base = OrderedVersionVector.empty().increment("A")
+        same = OrderedVersionVector({"A": 1}, last_writer="A")
+        assert base.compare(same) is Ordering.EQUAL
+
+    def test_merge_falls_back_to_full_comparison(self):
+        a = OrderedVersionVector.empty().increment("A")
+        b = OrderedVersionVector.empty().increment("B")
+        merged = a.merge(b)
+        # Comparing against a merged vector cannot use the O(1) rule.
+        a.dominated_by(merged)
+        assert a.fallback_comparisons >= 1
+
+    def test_ordering_matches_plain_vv_semantics(self):
+        """On single-increment chains the verdicts equal plain VV comparison."""
+        chain = OrderedVersionVector.empty()
+        stamps = []
+        for index, actor in enumerate(["A", "B", "A", "C", "B"]):
+            chain = chain.increment(actor)
+            stamps.append(chain)
+        for earlier_index, earlier in enumerate(stamps):
+            for later in stamps[earlier_index + 1:]:
+                assert earlier.compare(later) is Ordering.BEFORE
+                assert earlier.to_version_vector().compare(later.to_version_vector()) \
+                    is Ordering.BEFORE

@@ -1,0 +1,103 @@
+"""Property-based tests: exact mechanisms must match the causal-history oracle
+on randomly generated storage workloads, and the inexact ones must fail only
+in the documented ways.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_store
+from repro.clocks import create
+from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+
+EXACT = ["dvv", "dvvset", "client_vv", "dotted_vve", "causal_history"]
+
+
+def workload_configs():
+    return st.builds(
+        WorkloadConfig,
+        clients=st.integers(min_value=2, max_value=8),
+        keys=st.integers(min_value=1, max_value=3),
+        operations=st.integers(min_value=10, max_value=60),
+        read_probability=st.floats(min_value=0.2, max_value=0.8),
+        blind_write_probability=st.floats(min_value=0.0, max_value=0.2),
+        forget_probability=st.floats(min_value=0.0, max_value=0.1),
+        stale_read_probability=st.floats(min_value=0.0, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=workload_configs(), mechanism_name=st.sampled_from(EXACT))
+def test_exact_mechanisms_never_lose_updates_or_invent_concurrency(config, mechanism_name):
+    """The library-wide soundness property behind the paper's correctness claims."""
+    trace = generate_workload(config)
+    result = replay_trace(trace, create(mechanism_name))
+    report = check_store(result.store)
+    assert report.total_lost_updates == 0, report.per_key
+    assert report.total_false_concurrency == 0, report.per_key
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=workload_configs())
+def test_replicas_converge_for_every_mechanism(config):
+    """After full anti-entropy every replica of every key holds the same siblings."""
+    trace = generate_workload(config)
+    for mechanism_name in EXACT + ["server_vv", "client_vv_pruned_5"]:
+        result = replay_trace(trace, create(mechanism_name))
+        result.store.converge()
+        assert result.store.is_converged()
+
+
+CONTEXT_EXACT = ["dvv", "dvvset", "dotted_vve", "causal_history"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=workload_configs())
+def test_context_exact_mechanisms_agree_on_surviving_versions(config):
+    """Mechanisms that track exactly the context-conveyed causality expose the
+    same surviving version set after convergence.
+
+    (The per-client version vector is excluded: its identifier space adds a
+    per-writer total order on top of the context causality, so it may collapse
+    a client's own unread writes — a documented semantic difference the
+    correctness oracle reports as ``session_superseded``.)
+    """
+    trace = generate_workload(config)
+    frontiers = {}
+    for mechanism_name in CONTEXT_EXACT:
+        result = replay_trace(trace, create(mechanism_name))
+        result.store.converge()
+        per_key = {}
+        for key in result.store.write_log.keys():
+            replica = result.store.replicas_for(key)[0]
+            per_key[key] = frozenset(
+                sibling.origin_dot for sibling in result.store.siblings(key, replica)
+            )
+        frontiers[mechanism_name] = per_key
+    reference = frontiers[CONTEXT_EXACT[0]]
+    for mechanism_name, frontier in frontiers.items():
+        assert frontier == reference, f"{mechanism_name} disagrees with {CONTEXT_EXACT[0]}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_dvv_metadata_stays_bounded_while_client_vv_grows(seed):
+    """The size claim, as a property over random many-client workloads."""
+    config = WorkloadConfig(clients=24, keys=1, operations=120,
+                            stale_read_probability=0.2, seed=seed)
+    trace = generate_workload(config)
+    dvv_result = replay_trace(trace, create("dvv"))
+    client_result = replay_trace(trace, create("client_vv"))
+    dvv_max = dvv_result.store.max_metadata_entries_per_key()
+    client_max = client_result.store.max_metadata_entries_per_key()
+    servers = len(trace.server_ids)
+    siblings = max(
+        len(dvv_result.store.siblings("key-0", dvv_result.store.replicas_for("key-0")[0])), 1
+    )
+    # DVV: at most (#servers + 1 dot) entries per live sibling.
+    assert dvv_max <= (servers + 1) * siblings
+    # The per-client vector is never smaller than the DVV one on these workloads.
+    assert client_max >= dvv_max

@@ -1,0 +1,65 @@
+"""Tests for the mechanism registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import (
+    CausalityMechanism,
+    DVVMechanism,
+    available,
+    create,
+    create_many,
+    pruned_client_vv,
+    register,
+)
+from repro.core import ConfigurationError
+
+
+class TestRegistry:
+    def test_default_mechanisms_present(self):
+        names = available()
+        for expected in ("dvv", "dvvset", "server_vv", "client_vv", "causal_history",
+                         "dotted_vve", "client_vv_pruned_5"):
+            assert expected in names
+
+    def test_create_returns_fresh_instances(self):
+        first = create("dvv")
+        second = create("dvv")
+        assert isinstance(first, DVVMechanism)
+        assert first is not second
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            create("definitely-not-a-mechanism")
+
+    def test_create_many(self):
+        mechanisms = create_many(["dvv", "server_vv"])
+        assert set(mechanisms) == {"dvv", "server_vv"}
+        assert all(isinstance(m, CausalityMechanism) for m in mechanisms.values())
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            register("dvv", DVVMechanism)
+
+    def test_register_overwrite_allowed_explicitly(self):
+        register("dvv", DVVMechanism, overwrite=True)
+        assert isinstance(create("dvv"), DVVMechanism)
+
+    def test_register_custom_mechanism(self):
+        class Custom(DVVMechanism):
+            name = "custom_dvv"
+
+        register("custom_dvv_test", Custom, overwrite=True)
+        assert isinstance(create("custom_dvv_test"), Custom)
+
+    def test_pruned_factory_threshold(self):
+        mechanism = pruned_client_vv(9)
+        assert "9" in mechanism.name
+        assert mechanism.policy.max_entries == 9
+
+    def test_pruned_registry_entries_use_distinct_thresholds(self):
+        five = create("client_vv_pruned_5")
+        twenty = create("client_vv_pruned_20")
+        assert five.policy.max_entries == 5
+        assert twenty.policy.max_entries == 20

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.clocks.vector_clock`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DottedEventStamp, DottedVectorClock, VectorClock
+from repro.core import Dot, InvalidClockError, Ordering, VersionVector
+
+
+class TestVectorClock:
+    def test_tick_increments_own_entry(self):
+        clock = VectorClock("A")
+        stamp = clock.tick()
+        assert stamp == VersionVector({"A": 1})
+        assert clock.vector.get("A") == 1
+
+    def test_receive_merges_then_increments(self):
+        a = VectorClock("A")
+        b = VectorClock("B")
+        message = a.send()
+        received = b.receive(message)
+        assert received.get("A") == 1
+        assert received.get("B") == 1
+
+    def test_message_chain_is_ordered(self):
+        a, b = VectorClock("A"), VectorClock("B")
+        first = a.send()
+        b.receive(first)
+        second = b.send()
+        assert first.compare(second) is Ordering.BEFORE
+
+    def test_independent_events_concurrent(self):
+        a, b = VectorClock("A"), VectorClock("B")
+        ea = a.tick()
+        eb = b.tick()
+        assert ea.compare(eb) is Ordering.CONCURRENT
+        assert a.compare_to(eb) is Ordering.CONCURRENT
+
+    def test_requires_actor(self):
+        with pytest.raises(InvalidClockError):
+            VectorClock("")
+
+
+class TestDottedVectorClock:
+    def test_tick_produces_dot_above_past(self):
+        clock = DottedVectorClock("A")
+        stamp = clock.tick()
+        assert stamp.dot == Dot("A", 1)
+        assert stamp.past == VersionVector.empty()
+
+    def test_o1_happens_before_on_message_chain(self):
+        a, b = DottedVectorClock("A"), DottedVectorClock("B")
+        send = a.send()
+        recv = b.receive(send)
+        assert send.happens_before(recv)
+        assert not recv.happens_before(send)
+        assert send.compare(recv) is Ordering.BEFORE
+
+    def test_concurrent_local_events(self):
+        a, b = DottedVectorClock("A"), DottedVectorClock("B")
+        ea = a.tick()
+        eb = b.tick()
+        assert ea.concurrent_with(eb)
+        assert ea.compare(eb) is Ordering.CONCURRENT
+
+    def test_dotted_and_plain_clocks_agree(self):
+        """The dotted decomposition never changes the causal verdict."""
+        plain_a, plain_b = VectorClock("A"), VectorClock("B")
+        dotted_a, dotted_b = DottedVectorClock("A"), DottedVectorClock("B")
+
+        plain_send = plain_a.send()
+        dotted_send = dotted_a.send()
+        plain_b.receive(plain_send)
+        dotted_b.receive(dotted_send)
+        plain_reply = plain_b.send()
+        dotted_reply = dotted_b.send()
+
+        assert plain_send.compare(plain_reply) is dotted_send.compare(dotted_reply)
+
+    def test_stamp_to_vector(self):
+        stamp = DottedEventStamp(Dot("A", 3), VersionVector({"A": 1, "B": 2}))
+        assert stamp.to_vector() == VersionVector({"A": 3, "B": 2})
+
+    def test_same_dot_is_equal(self):
+        stamp = DottedEventStamp(Dot("A", 1), VersionVector())
+        assert stamp.compare(stamp) is Ordering.EQUAL
+        assert not stamp.concurrent_with(stamp)
+
+    def test_requires_actor(self):
+        with pytest.raises(InvalidClockError):
+            DottedVectorClock("")

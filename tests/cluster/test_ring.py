@@ -1,0 +1,85 @@
+"""Unit tests for the consistent-hashing ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ConsistentHashRing
+from repro.core import ConfigurationError
+
+
+class TestMembership:
+    def test_add_and_remove(self):
+        ring = ConsistentHashRing(["A", "B"], virtual_nodes=8)
+        assert set(ring.nodes()) == {"A", "B"}
+        ring.add_node("C")
+        assert "C" in ring
+        ring.remove_node("B")
+        assert set(ring.nodes()) == {"A", "C"}
+        assert len(ring) == 2
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["A"])
+        with pytest.raises(ConfigurationError):
+            ring.add_node("A")
+
+    def test_remove_unknown_is_noop(self):
+        ring = ConsistentHashRing(["A"])
+        ring.remove_node("Z")
+        assert ring.nodes() == ["A"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(virtual_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing([""])
+
+
+class TestPlacement:
+    def test_preference_list_has_distinct_nodes(self):
+        ring = ConsistentHashRing(["A", "B", "C", "D"], virtual_nodes=16)
+        for key in ("cart", "user:7", "another-key"):
+            preference = ring.preference_list(key, 3)
+            assert len(preference) == 3
+            assert len(set(preference)) == 3
+
+    def test_preference_list_caps_at_ring_size(self):
+        ring = ConsistentHashRing(["A", "B"], virtual_nodes=8)
+        assert len(ring.preference_list("k", 5)) == 2
+
+    def test_placement_is_deterministic(self):
+        ring_one = ConsistentHashRing(["A", "B", "C"], virtual_nodes=16)
+        ring_two = ConsistentHashRing(["A", "B", "C"], virtual_nodes=16)
+        for index in range(20):
+            key = f"key-{index}"
+            assert ring_one.preference_list(key, 3) == ring_two.preference_list(key, 3)
+
+    def test_primary_is_first_of_preference_list(self):
+        ring = ConsistentHashRing(["A", "B", "C"], virtual_nodes=16)
+        assert ring.primary("k") == ring.preference_list("k", 3)[0]
+
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.preference_list("k", 2) == []
+        with pytest.raises(ConfigurationError):
+            ring.primary("k")
+        with pytest.raises(ConfigurationError):
+            ring.preference_list("k", 0)
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        """Consistent hashing: keys not owned by the removed node keep their primary."""
+        ring = ConsistentHashRing(["A", "B", "C", "D"], virtual_nodes=32)
+        keys = [f"key-{i}" for i in range(200)]
+        before = {key: ring.primary(key) for key in keys}
+        ring.remove_node("D")
+        moved = sum(1 for key in keys if ring.primary(key) != before[key])
+        previously_on_d = sum(1 for key in keys if before[key] == "D")
+        assert moved == previously_on_d
+
+    def test_load_is_roughly_balanced(self):
+        ring = ConsistentHashRing(["A", "B", "C", "D"], virtual_nodes=64)
+        keys = [f"key-{i}" for i in range(2000)]
+        histogram = ring.ownership_histogram(keys)
+        assert set(histogram) == {"A", "B", "C", "D"}
+        for count in histogram.values():
+            assert 0.5 * 500 < count < 1.6 * 500

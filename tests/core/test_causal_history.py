@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.core.causal_history`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CausalHistory, Dot, InvalidClockError, Ordering
+
+
+class TestConstruction:
+    def test_empty(self):
+        h = CausalHistory.empty()
+        assert len(h) == 0
+        assert h.event is None
+        assert list(h) == []
+
+    def test_event_excluded_from_past(self):
+        h = CausalHistory(Dot("A", 2), [Dot("A", 1), Dot("A", 2)])
+        assert h.event == Dot("A", 2)
+        assert h.past == frozenset({Dot("A", 1)})
+        assert h.events() == frozenset({Dot("A", 1), Dot("A", 2)})
+
+    def test_from_events(self):
+        h = CausalHistory.from_events([Dot("A", 1), Dot("B", 1)], event=Dot("B", 1))
+        assert h.event == Dot("B", 1)
+        assert Dot("A", 1) in h
+
+    def test_from_events_adds_missing_event(self):
+        h = CausalHistory.from_events([Dot("A", 1)], event=Dot("B", 1))
+        assert h.events() == frozenset({Dot("A", 1), Dot("B", 1)})
+
+    def test_rejects_non_dot_entries(self):
+        with pytest.raises(InvalidClockError):
+            CausalHistory(None, ["A1"])  # type: ignore[list-item]
+        with pytest.raises(InvalidClockError):
+            CausalHistory("A1")  # type: ignore[arg-type]
+
+
+class TestEventsAndMerge:
+    def test_record_event_extends_history(self):
+        h = CausalHistory.empty().record_event(Dot("A", 1))
+        h2 = h.record_event(Dot("A", 2))
+        assert h2.event == Dot("A", 2)
+        assert Dot("A", 1) in h2.past
+
+    def test_record_event_rejects_duplicates(self):
+        h = CausalHistory(Dot("A", 1))
+        with pytest.raises(InvalidClockError):
+            h.record_event(Dot("A", 1))
+
+    def test_merge_is_set_union_without_event(self):
+        a = CausalHistory(Dot("A", 1))
+        b = CausalHistory(Dot("B", 1))
+        merged = a.merge(b)
+        assert merged.event is None
+        assert merged.events() == frozenset({Dot("A", 1), Dot("B", 1)})
+
+    def test_merge_commutative_idempotent(self):
+        a = CausalHistory(Dot("A", 2), [Dot("A", 1)])
+        b = CausalHistory(Dot("B", 1), [Dot("A", 1)])
+        assert a.merge(b).events() == b.merge(a).events()
+        assert a.merge(a).events() == a.events()
+
+
+class TestComparison:
+    def test_figure_1a_relations(self):
+        """The exact relations shown in Figure 1a of the paper."""
+        a1 = CausalHistory(Dot("A", 1))
+        a2 = CausalHistory(Dot("A", 2), [Dot("A", 1)])
+        a3 = CausalHistory(Dot("A", 3), [Dot("A", 1)])          # concurrent with a2
+        b1 = CausalHistory(Dot("B", 1), [Dot("A", 1), Dot("A", 2)])
+        a4 = CausalHistory(Dot("A", 4), [Dot("A", 1), Dot("A", 2), Dot("A", 3)])
+
+        assert a1.compare(a2) is Ordering.BEFORE
+        assert a2.compare(a1) is Ordering.AFTER
+        assert a2.compare(a3) is Ordering.CONCURRENT
+        assert a3.compare(b1) is Ordering.CONCURRENT
+        assert a2.compare(b1) is Ordering.BEFORE
+        assert a3.compare(a4) is Ordering.BEFORE
+        assert a2.compare(a4) is Ordering.BEFORE
+
+    def test_happens_before_uses_dot_containment(self):
+        a = CausalHistory(Dot("A", 1))
+        b = CausalHistory(Dot("B", 1), [Dot("A", 1)])
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+        assert not a.happens_before(a)
+
+    def test_concurrent_with(self):
+        a = CausalHistory(Dot("A", 2), [Dot("A", 1)])
+        b = CausalHistory(Dot("A", 3), [Dot("A", 1)])
+        assert a.concurrent_with(b)
+        assert not a.concurrent_with(a)
+
+    def test_equal(self):
+        a = CausalHistory(Dot("A", 1))
+        b = CausalHistory(Dot("A", 1))
+        assert a.compare(b) is Ordering.EQUAL
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestFormatting:
+    def test_str_marks_the_event(self):
+        h = CausalHistory(Dot("A", 2), [Dot("A", 1)])
+        assert str(h) == "{A1,*A2*}"
+
+    def test_contains(self):
+        h = CausalHistory(Dot("A", 2), [Dot("A", 1)])
+        assert h.contains(Dot("A", 1))
+        assert h.contains(Dot("A", 2))
+        assert not h.contains(Dot("B", 1))

@@ -1,0 +1,191 @@
+"""Unit tests for :mod:`repro.core.dvv` (the paper's core contribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CausalHistory,
+    Dot,
+    DottedVersionVector,
+    InvalidClockError,
+    Ordering,
+    VersionVector,
+)
+from repro.core.dvv import (
+    covered_by_context,
+    discard,
+    join,
+    max_counter_for,
+    obsoleted_by,
+    sync,
+    update,
+)
+
+
+def dvv(actor, counter, past=None):
+    return DottedVersionVector(Dot(actor, counter), VersionVector(past or {}))
+
+
+class TestConstruction:
+    def test_basic(self):
+        clock = dvv("A", 2, {"A": 1, "B": 1})
+        assert clock.dot == Dot("A", 2)
+        assert clock.causal_past == VersionVector({"A": 1, "B": 1})
+
+    def test_dot_must_not_be_inside_past(self):
+        with pytest.raises(InvalidClockError):
+            dvv("A", 1, {"A": 1})
+        with pytest.raises(InvalidClockError):
+            dvv("A", 2, {"A": 3})
+
+    def test_non_contiguous_dot_is_allowed(self):
+        # (A,3)[A:1] — the Figure 1c clock that skips (A,2).
+        clock = dvv("A", 3, {"A": 1})
+        assert clock.dot.counter == 3
+        assert clock.causal_past.get("A") == 1
+
+    def test_type_validation(self):
+        with pytest.raises(InvalidClockError):
+            DottedVersionVector(("A", 1), VersionVector())  # type: ignore[arg-type]
+        with pytest.raises(InvalidClockError):
+            DottedVersionVector(Dot("A", 1), {"A": 0})  # type: ignore[arg-type]
+
+
+class TestCausality:
+    def test_paper_rule_happens_before(self):
+        """a < b iff n_a <= v_b[i_a] — Section 2 of the paper."""
+        a = dvv("A", 1)
+        b = dvv("A", 2, {"A": 1})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_figure_1c_concurrency(self):
+        """(A,3)[1,0] is concurrent with (A,2)[1,0]."""
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        assert v2.concurrent_with(v3)
+        assert v3.concurrent_with(v2)
+        assert v2.compare(v3) is Ordering.CONCURRENT
+
+    def test_figure_1c_resolution(self):
+        """(A,4)[A:3,B:1] dominates both concurrent versions after the merge write."""
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        b1 = dvv("B", 1, {"A": 2})
+        v4 = dvv("A", 4, {"A": 3, "B": 1})
+        assert v2.happens_before(v4)
+        assert v3.happens_before(v4)
+        assert b1.happens_before(v4)
+
+    def test_cross_actor_concurrency(self):
+        a = dvv("A", 1)
+        b = dvv("B", 1)
+        assert a.concurrent_with(b)
+
+    def test_equal_and_descends(self):
+        a = dvv("A", 2, {"A": 1})
+        assert a.compare(dvv("A", 2, {"A": 1})) is Ordering.EQUAL
+        assert a.descends(dvv("A", 1))
+        assert a.descends(a)
+
+    def test_contains_dot_is_constant_lookup_semantics(self):
+        clock = dvv("A", 3, {"A": 1, "B": 2})
+        assert clock.contains_dot(Dot("A", 3))     # its own dot
+        assert clock.contains_dot(Dot("A", 1))     # in the past
+        assert not clock.contains_dot(Dot("A", 2))  # the gap
+        assert clock.contains_dot(Dot("B", 2))
+        assert not clock.contains_dot(Dot("C", 1))
+
+
+class TestConversions:
+    def test_to_causal_history_matches_paper_equation(self):
+        clock = dvv("A", 3, {"A": 1, "B": 2})
+        history = clock.to_causal_history()
+        assert history.event == Dot("A", 3)
+        assert history.events() == frozenset(
+            {Dot("A", 3), Dot("A", 1), Dot("B", 1), Dot("B", 2)}
+        )
+
+    def test_to_version_vector_folds_the_dot(self):
+        clock = dvv("A", 3, {"A": 1, "B": 2})
+        assert clock.to_version_vector() == VersionVector({"A": 3, "B": 2})
+
+    def test_size_is_bounded_by_past_entries(self):
+        assert dvv("A", 3, {"A": 1, "B": 2, "C": 9}).size() == 3
+
+
+class TestKernelUpdate:
+    def test_update_uses_client_context_as_past(self):
+        context = VersionVector({"A": 1})
+        new = update(context, [], "A")
+        assert new.dot == Dot("A", 2)
+        assert new.causal_past == context
+
+    def test_update_skips_over_server_versions(self):
+        """Figure 1c: a stale-context write through A gets dot (A,3), past [A:1]."""
+        context = VersionVector({"A": 1})
+        stored = [dvv("A", 2, {"A": 1})]
+        new = update(context, stored, "A")
+        assert new.dot == Dot("A", 3)
+        assert new.causal_past == VersionVector({"A": 1})
+
+    def test_update_with_empty_context(self):
+        new = update(VersionVector.empty(), [], "A")
+        assert new.dot == Dot("A", 1)
+        assert new.causal_past == VersionVector.empty()
+
+    def test_max_counter_considers_dots_and_pasts(self):
+        stored = [dvv("A", 5, {"A": 2}), dvv("B", 1, {"A": 7})]
+        assert max_counter_for("A", stored) == 7
+        assert max_counter_for("A", stored, VersionVector({"A": 9})) == 9
+        assert max_counter_for("C", stored) == 0
+
+
+class TestKernelSyncAndJoin:
+    def test_sync_discards_obsolete_versions(self):
+        old = dvv("A", 1)
+        new = dvv("A", 2, {"A": 1})
+        assert sync([old], [new]) == [new]
+        assert sync([new], [old]) == [new]
+
+    def test_sync_keeps_concurrent_versions(self):
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        merged = sync([v2], [v3])
+        assert set(merged) == {v2, v3}
+
+    def test_sync_deduplicates_same_dot(self):
+        v = dvv("A", 2, {"A": 1})
+        assert sync([v], [v]) == [v]
+
+    def test_sync_is_deterministic_and_sorted(self):
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        assert sync([v3], [v2]) == sync([v2], [v3])
+
+    def test_sync_empty_sides(self):
+        v = dvv("A", 1)
+        assert sync([], [v]) == [v]
+        assert sync([v], []) == [v]
+        assert sync([], []) == []
+
+    def test_join_is_ceiling_of_all_versions(self):
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        assert join([v2, v3]) == VersionVector({"A": 3})
+        assert join([]) == VersionVector.empty()
+
+    def test_discard_removes_versions_covered_by_context(self):
+        v2 = dvv("A", 2, {"A": 1})
+        v3 = dvv("A", 3, {"A": 1})
+        context = VersionVector({"A": 2})
+        assert discard([v2, v3], context) == [v3]
+        assert covered_by_context(v2, context)
+        assert not covered_by_context(v3, context)
+
+    def test_obsoleted_by(self):
+        old = dvv("A", 1)
+        new = dvv("A", 2, {"A": 1})
+        assert obsoleted_by(old, [new])
+        assert not obsoleted_by(new, [old, new])

@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.core.dvvset`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DVVSet, Dot, InvalidClockError, Ordering, VersionVector
+
+
+class TestConstruction:
+    def test_new_holds_anonymous_value(self):
+        clock = DVVSet.new("v1")
+        assert clock.values() == ["v1"]
+        assert clock.entry_count() == 0
+        assert clock.anonymous == ("v1",)
+
+    def test_new_with_context(self):
+        clock = DVVSet.new_with_context(VersionVector({"A": 2}), "v2")
+        assert clock.counter("A") == 2
+        assert clock.values() == ["v2"]
+
+    def test_empty(self):
+        clock = DVVSet.empty()
+        assert clock.size() == 0
+        assert clock.values() == []
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(InvalidClockError):
+            DVVSet([("A", 1, ("x", "y"))])          # more values than events
+        with pytest.raises(InvalidClockError):
+            DVVSet([("A", -1, ())])
+        with pytest.raises(InvalidClockError):
+            DVVSet([("A", 1, ()), ("A", 2, ())])    # duplicate actor
+        with pytest.raises(InvalidClockError):
+            DVVSet([("", 1, ())])
+
+
+class TestServerProtocol:
+    def test_blind_write_then_update(self):
+        incoming = DVVSet.new("v1")
+        stored = incoming.update(DVVSet.empty(), "A")
+        assert stored.values() == ["v1"]
+        assert stored.counter("A") == 1
+        assert stored.join() == VersionVector({"A": 1})
+
+    def test_read_modify_write_supersedes(self):
+        stored = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        context = stored.join()
+        stored = DVVSet.new_with_context(context, "v2").update(stored, "A")
+        assert stored.values() == ["v2"]
+        assert stored.counter("A") == 2
+
+    def test_concurrent_writes_through_same_server_become_siblings(self):
+        """The Figure 1c scenario at the DVVSet level."""
+        stored = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        context_after_v1 = stored.join()
+        stored = DVVSet.new_with_context(context_after_v1, "v2").update(stored, "A")
+        # The second client still holds the context from before v2 was written.
+        stored = DVVSet.new_with_context(context_after_v1, "v3").update(stored, "A")
+        assert sorted(stored.values()) == ["v2", "v3"]
+        assert stored.counter("A") == 3
+
+    def test_update_requires_single_anonymous_value(self):
+        with pytest.raises(InvalidClockError):
+            DVVSet.empty().update(DVVSet.empty(), "A")
+
+    def test_writes_through_different_servers(self):
+        at_a = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        at_b = DVVSet.new("v2").update(DVVSet.empty(), "B")
+        merged = at_a.sync(at_b)
+        assert sorted(merged.values()) == ["v1", "v2"]
+        assert merged.counter("A") == 1
+        assert merged.counter("B") == 1
+
+
+class TestSync:
+    def test_sync_identical_clocks_is_idempotent(self):
+        clock = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        assert clock.sync(clock) == clock
+
+    def test_sync_drops_superseded_values(self):
+        older = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        newer = DVVSet.new_with_context(older.join(), "v2").update(older, "A")
+        merged = older.sync(newer)
+        assert merged.values() == ["v2"]
+        assert merged == newer.sync(older)
+
+    def test_sync_keeps_concurrent_values(self):
+        base = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        ctx = base.join()
+        left = DVVSet.new_with_context(ctx, "left").update(base, "A")
+        right = DVVSet.new_with_context(ctx, "right").update(base, "B")
+        merged = left.sync(right)
+        assert sorted(merged.values()) == ["left", "right"]
+
+    def test_sync_merges_anonymous_values(self):
+        a = DVVSet.new("x")
+        b = DVVSet.new("y")
+        merged = a.sync(b)
+        assert sorted(merged.values()) == ["x", "y"]
+        # duplicates collapse
+        assert a.sync(a).values() == ["x"]
+
+
+class TestComparisonAndIntrospection:
+    def test_compare(self):
+        older = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        newer = DVVSet.new_with_context(older.join(), "v2").update(older, "A")
+        assert older.compare(newer) is Ordering.BEFORE
+        assert newer.compare(older) is Ordering.AFTER
+        assert older.compare(older) is Ordering.EQUAL
+
+    def test_concurrent_compare(self):
+        at_a = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        at_b = DVVSet.new("v2").update(DVVSet.empty(), "B")
+        assert at_a.compare(at_b) is Ordering.CONCURRENT
+
+    def test_dots_enumeration(self):
+        stored = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        stored = DVVSet.new_with_context(stored.join(), "v2").update(stored, "A")
+        dots = dict(stored.dots())
+        assert dots[Dot("A", 2)] == "v2"
+        assert dots[Dot("A", 1)] is None  # superseded event keeps no value
+
+    def test_contains_dot(self):
+        stored = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        assert stored.contains_dot(Dot("A", 1))
+        assert not stored.contains_dot(Dot("A", 2))
+
+    def test_entry_count_bounded_by_servers_not_values(self):
+        stored = DVVSet.empty()
+        for index in range(10):
+            context = stored.join()
+            # every write goes through the same two servers alternately
+            server = "A" if index % 2 == 0 else "B"
+            stored = DVVSet.new_with_context(context, f"v{index}").update(stored, server)
+        assert stored.entry_count() == 2
+
+    def test_total_events_and_size(self):
+        stored = DVVSet.new("v1").update(DVVSet.empty(), "A")
+        stored = DVVSet.new("v2").update(stored, "A")  # blind write -> sibling
+        assert stored.total_events() == 2
+        assert stored.size() == 2

@@ -1,0 +1,259 @@
+"""Property-based tests (Hypothesis) for the core clock types.
+
+The key invariant throughout the library: every compact clock is a faithful
+encoding of a causal history, and its comparison operator must agree with set
+inclusion on the denoted histories.  These properties are checked here on
+randomly generated clocks; the mechanism-level analogue (random *traces*) is
+in ``tests/clocks/test_properties_mechanisms.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CausalHistory,
+    Dot,
+    DottedVersionVector,
+    Ordering,
+    VersionVector,
+    decode,
+    encode,
+    semantic_compare,
+)
+
+ACTORS = ["A", "B", "C", "D"]
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+def version_vectors(max_counter: int = 6) -> st.SearchStrategy[VersionVector]:
+    return st.dictionaries(
+        st.sampled_from(ACTORS), st.integers(min_value=0, max_value=max_counter), max_size=4
+    ).map(VersionVector)
+
+
+def dots(max_counter: int = 8) -> st.SearchStrategy[Dot]:
+    return st.builds(Dot, st.sampled_from(ACTORS), st.integers(min_value=1, max_value=max_counter))
+
+
+@st.composite
+def dotted_version_vectors(draw) -> DottedVersionVector:
+    past = draw(version_vectors())
+    actor = draw(st.sampled_from(ACTORS))
+    # the dot must lie strictly above the past's entry for its actor
+    counter = draw(st.integers(min_value=past.get(actor) + 1, max_value=past.get(actor) + 4))
+    return DottedVersionVector(Dot(actor, counter), past)
+
+
+def causal_histories() -> st.SearchStrategy[CausalHistory]:
+    return st.frozensets(dots(), max_size=10).map(lambda ds: CausalHistory(None, ds))
+
+
+# --------------------------------------------------------------------------- #
+# Version vector lattice laws
+# --------------------------------------------------------------------------- #
+@given(version_vectors(), version_vectors())
+def test_vv_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(version_vectors(), version_vectors(), version_vectors())
+def test_vv_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(version_vectors())
+def test_vv_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(version_vectors(), version_vectors())
+def test_vv_merge_is_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged.descends(a)
+    assert merged.descends(b)
+
+
+@given(version_vectors(), version_vectors())
+def test_vv_comparison_antisymmetric(a, b):
+    relation = a.compare(b)
+    assert b.compare(a) is relation.inverse()
+
+
+@given(version_vectors(), version_vectors())
+def test_vv_comparison_matches_semantic_comparison(a, b):
+    assert a.compare(b) is semantic_compare(a, b)
+
+
+@given(version_vectors())
+def test_vv_increment_strictly_dominates(a):
+    for actor in ACTORS:
+        assert a.increment(actor).dominates(a)
+
+
+@given(version_vectors())
+def test_vv_dots_round_trip(a):
+    assert VersionVector.from_dots(a.dots()) == a
+
+
+# --------------------------------------------------------------------------- #
+# Causal history laws
+# --------------------------------------------------------------------------- #
+@given(causal_histories(), causal_histories())
+def test_history_comparison_is_set_inclusion(a, b):
+    relation = a.compare(b)
+    if relation is Ordering.EQUAL:
+        assert a.events() == b.events()
+    elif relation is Ordering.BEFORE:
+        assert a.events() < b.events()
+    elif relation is Ordering.AFTER:
+        assert a.events() > b.events()
+    else:
+        assert not (a.events() <= b.events()) and not (b.events() <= a.events())
+
+
+@given(causal_histories(), causal_histories())
+def test_history_merge_is_least_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged.events() == a.events() | b.events()
+
+
+# --------------------------------------------------------------------------- #
+# Dotted version vector laws
+# --------------------------------------------------------------------------- #
+@given(dotted_version_vectors(), dotted_version_vectors())
+def test_dvv_comparison_respects_ordered_histories(a, b):
+    """Whenever the denoted histories are ordered, the DVV comparison agrees.
+
+    (The converse — concurrent histories implying a CONCURRENT verdict — only
+    holds for clocks produced by actual executions, where a causal past that
+    contains a version's dot also contains that version's entire history;
+    that stronger property is checked by the execution-driven test below and
+    by the mechanism-level property tests.)
+    """
+    truth = semantic_compare(a, b)
+    if truth in (Ordering.BEFORE, Ordering.AFTER, Ordering.EQUAL):
+        assert a.compare(b) is truth
+
+
+@st.composite
+def kernel_operations(draw):
+    """A random storage-system execution expressed as kernel operations.
+
+    Operations are (client, server, action) triples over 3 clients and 2
+    servers; "read" refreshes the client's context from a server, "write"
+    pushes a new version through a server using whatever context the client
+    holds (possibly stale — that is what creates concurrency), "sync" merges
+    the two servers.
+    """
+    return draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),      # client
+            st.integers(min_value=0, max_value=1),      # server
+            st.sampled_from(["read", "write", "write", "sync"]),
+        ),
+        min_size=1,
+        max_size=25,
+    ))
+
+
+@given(kernel_operations())
+@settings(max_examples=60)
+def test_dvv_kernel_execution_agrees_with_causal_history(operations):
+    """Clocks produced by the update/sync/join kernel order exactly like the
+    ground-truth causal histories of the same execution."""
+    from repro.core.dvv import join as dvv_join, sync as dvv_sync, update as dvv_update
+
+    servers = [[], []]            # list of (DottedVersionVector, CausalHistory)
+    contexts = [
+        [(VersionVector.empty(), CausalHistory.empty()) for _ in range(2)]
+        for _ in range(3)
+    ]
+    write_seq = 0
+
+    for client, server, action in operations:
+        if action == "read":
+            clocks = [clock for clock, _ in servers[server]]
+            merged_history = CausalHistory.empty()
+            for _, history in servers[server]:
+                merged_history = merged_history.merge(history)
+            contexts[client][server] = (dvv_join(clocks), merged_history)
+        elif action == "write":
+            context_vv, context_history = contexts[client][server]
+            write_seq += 1
+            clocks = [clock for clock, _ in servers[server]]
+            new_clock = dvv_update(context_vv, clocks, f"S{server}")
+            new_history = CausalHistory(new_clock.dot, context_history.events())
+            survivors = [
+                (clock, history) for clock, history in servers[server]
+                if not context_vv.contains_dot(clock.dot)
+            ]
+            servers[server] = survivors + [(new_clock, new_history)]
+        else:  # sync
+            merged_clocks = dvv_sync(
+                [clock for clock, _ in servers[0]],
+                [clock for clock, _ in servers[1]],
+            )
+            history_by_dot = {
+                clock.dot: history for clock, history in servers[0] + servers[1]
+            }
+            merged = [(clock, history_by_dot[clock.dot]) for clock in merged_clocks]
+            servers[0] = list(merged)
+            servers[1] = list(merged)
+
+    live = servers[0] + servers[1]
+    for clock_a, history_a in live:
+        for clock_b, history_b in live:
+            assert clock_a.compare(clock_b) is history_a.compare(history_b)
+
+
+@given(dotted_version_vectors(), dotted_version_vectors())
+def test_dvv_happens_before_matches_o1_rule(a, b):
+    """a < b iff n_a <= v_b[i_a] (for distinct dots) — the O(1) rule."""
+    expected = a.dot != b.dot and b.causal_past.contains_dot(a.dot)
+    assert a.happens_before(b) == expected
+
+
+@given(dotted_version_vectors(), dotted_version_vectors())
+def test_dvv_concurrency_is_symmetric(a, b):
+    assert a.concurrent_with(b) == b.concurrent_with(a)
+
+
+@given(dotted_version_vectors())
+def test_dvv_never_precedes_itself(a):
+    assert not a.happens_before(a)
+    assert not a.concurrent_with(a)
+
+
+@given(dotted_version_vectors())
+def test_dvv_denotation_contains_own_dot(a):
+    assert a.dot in a.to_causal_history()
+
+
+@given(dotted_version_vectors())
+def test_dvv_ceiling_vector_covers_denotation(a):
+    ceiling = a.to_version_vector()
+    for event in a.to_causal_history():
+        assert ceiling.contains_dot(event)
+
+
+# --------------------------------------------------------------------------- #
+# Serialisation round trips
+# --------------------------------------------------------------------------- #
+@given(version_vectors())
+def test_vv_binary_round_trip(a):
+    assert decode(encode(a)) == a
+
+
+@given(dotted_version_vectors())
+def test_dvv_binary_round_trip(a):
+    assert decode(encode(a)) == a
+
+
+@given(causal_histories())
+@settings(max_examples=50)
+def test_history_binary_round_trip(a):
+    assert decode(encode(a)) == a

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.core.semantics` (denotations / ground truth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CausalHistory,
+    DVVSet,
+    Dot,
+    DottedVersionVector,
+    Ordering,
+    VersionVector,
+    agrees_with_history,
+    covers,
+    denote,
+    denote_dvv,
+    denote_dvvset,
+    denote_version_vector,
+    semantic_compare,
+)
+
+
+class TestDenotations:
+    def test_version_vector_denotes_prefixes(self):
+        history = denote_version_vector(VersionVector({"A": 2, "B": 1}))
+        assert history.events() == frozenset({Dot("A", 1), Dot("A", 2), Dot("B", 1)})
+
+    def test_dvv_denotation_is_paper_equation(self):
+        clock = DottedVersionVector(Dot("A", 3), VersionVector({"A": 1, "B": 1}))
+        history = denote_dvv(clock)
+        assert history.events() == frozenset({Dot("A", 3), Dot("A", 1), Dot("B", 1)})
+        assert history.event == Dot("A", 3)
+
+    def test_dvvset_denotation_covers_all_entries(self):
+        clock = DVVSet([("A", 2, ("v2",)), ("B", 1, ())], ())
+        history = denote_dvvset(clock)
+        assert history.events() == frozenset({Dot("A", 1), Dot("A", 2), Dot("B", 1)})
+
+    def test_denote_dispatch(self):
+        assert denote(VersionVector({"A": 1})).events() == frozenset({Dot("A", 1)})
+        assert denote(CausalHistory(Dot("A", 1))).events() == frozenset({Dot("A", 1)})
+        with pytest.raises(TypeError):
+            denote("not a clock")  # type: ignore[arg-type]
+
+
+class TestSemanticComparison:
+    def test_cross_type_comparison(self):
+        vv = VersionVector({"A": 1})
+        clock = DottedVersionVector(Dot("A", 2), VersionVector({"A": 1}))
+        assert semantic_compare(vv, clock) is Ordering.BEFORE
+        assert semantic_compare(clock, vv) is Ordering.AFTER
+
+    def test_agreement_for_exact_clocks(self):
+        a = DottedVersionVector(Dot("A", 2), VersionVector({"A": 1}))
+        b = DottedVersionVector(Dot("A", 3), VersionVector({"A": 1}))
+        assert agrees_with_history(a, b)
+
+    def test_disagreement_for_lossy_encoding(self):
+        """Folding concurrent DVVs into plain VVs loses the concurrency —
+        exactly the failure mode of Figure 1b."""
+        v2 = DottedVersionVector(Dot("A", 2), VersionVector({"A": 1}))
+        v3 = DottedVersionVector(Dot("A", 3), VersionVector({"A": 1}))
+        as_vv_2 = v2.to_version_vector()
+        as_vv_3 = v3.to_version_vector()
+        assert semantic_compare(v2, v3) is Ordering.CONCURRENT
+        assert as_vv_2.compare(as_vv_3) is Ordering.BEFORE  # falsely ordered
+
+    def test_covers(self):
+        clock = DottedVersionVector(Dot("A", 3), VersionVector({"A": 1}))
+        assert covers(clock, [Dot("A", 1), Dot("A", 3)])
+        assert not covers(clock, [Dot("A", 2)])

@@ -1,0 +1,92 @@
+"""Integration: identical synthetic workloads replayed under every mechanism,
+checking both the correctness claims and the metadata-size claims end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_store, compare_reports, measure_sync_store
+from repro.clocks import create
+from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+
+WORKLOAD = WorkloadConfig(
+    clients=24,
+    servers=("A", "B", "C"),
+    keys=3,
+    operations=240,
+    stale_read_probability=0.35,
+    blind_write_probability=0.05,
+    seed=2012,                      # the paper's year, for luck and determinism
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    names = ["dvv", "dvvset", "client_vv", "client_vv_pruned_5", "server_vv",
+             "dotted_vve", "causal_history"]
+    out = {}
+    for name in names:
+        replay = replay_trace(trace, create(name))
+        replay.store.converge()
+        out[name] = replay
+    return out
+
+
+class TestCorrectnessMatrix:
+    @pytest.mark.parametrize("name", ["dvv", "dvvset", "client_vv", "dotted_vve",
+                                      "causal_history"])
+    def test_exact_mechanisms_are_flawless(self, results, name):
+        report = check_store(results[name].store)
+        assert report.total_lost_updates == 0
+        assert report.total_false_concurrency == 0
+
+    def test_server_vv_loses_updates(self, results):
+        report = check_store(results["server_vv"].store)
+        assert report.total_lost_updates > 0
+
+    def test_pruned_client_vv_misbehaves(self, results):
+        report = check_store(results["client_vv_pruned_5"].store)
+        assert report.total_lost_updates + report.total_false_concurrency > 0
+
+    def test_all_replicas_converge(self, results):
+        for replay in results.values():
+            assert replay.store.is_converged()
+
+
+class TestMetadataMatrix:
+    def test_dvv_metadata_much_smaller_than_client_vv(self, results):
+        reports = {name: measure_sync_store(replay.store) for name, replay in results.items()}
+        ratio = compare_reports(reports, baseline="client_vv", challenger="dvv")
+        assert ratio["entries_ratio"] > 1.5
+        assert ratio["bytes_ratio"] > 1.5
+
+    def test_dvvset_is_the_most_compact_exact_mechanism(self, results):
+        reports = {name: measure_sync_store(replay.store) for name, replay in results.items()}
+        exact = ["dvv", "dvvset", "client_vv", "dotted_vve", "causal_history"]
+        smallest = min(exact, key=lambda name: reports[name].total_bytes)
+        assert smallest == "dvvset"
+
+    def test_causal_history_is_the_largest(self, results):
+        reports = {name: measure_sync_store(replay.store) for name, replay in results.items()}
+        largest = max(reports, key=lambda name: reports[name].total_bytes)
+        assert largest == "causal_history"
+
+    def test_dvv_per_key_entries_bounded_by_replication_degree(self, results):
+        store = results["dvv"].store
+        servers = len(WORKLOAD.servers)
+        for key in store.write_log.keys():
+            replica = store.replicas_for(key)[0]
+            siblings = len(store.siblings(key, replica))
+            entries = store.node(replica).metadata_entries(key)
+            assert entries <= siblings * (servers + 1)
+
+    def test_client_vv_per_key_entries_track_number_of_writers(self, results):
+        store = results["client_vv"].store
+        # at least one key accumulated far more entries than the replica count
+        assert store.max_metadata_entries_per_key() > len(WORKLOAD.servers) + 1

@@ -1,0 +1,142 @@
+"""Unit tests for Merkle-tree assisted anti-entropy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DVVMechanism
+from repro.core import ConfigurationError
+from repro.kvstore import ClientSession, SyncReplicatedStore
+from repro.kvstore.merkle import (
+    DiffStats,
+    MerkleAntiEntropy,
+    MerkleTree,
+    diff_keys,
+    key_fingerprint,
+)
+
+
+def populated_store(keys=10, servers=("A", "B", "C")):
+    store = SyncReplicatedStore(DVVMechanism(), server_ids=servers)
+    client = ClientSession("writer")
+    for index in range(keys):
+        key = f"key-{index}"
+        client.get(store, key, server_id=servers[0])
+        client.put(store, key, f"value-{index}", server_id=servers[0])
+    return store
+
+
+class TestMerkleTree:
+    def test_identical_states_identical_roots(self):
+        store = populated_store()
+        store.converge()
+        tree_a = MerkleTree.for_node(store.node("A"))
+        tree_b = MerkleTree.for_node(store.node("B"))
+        assert tree_a.root_digest == tree_b.root_digest
+        assert tree_a == tree_b
+
+    def test_divergent_states_differ(self):
+        store = populated_store()
+        store.converge()
+        client = ClientSession("late-writer")
+        client.get(store, "key-3", server_id="A")
+        client.put(store, "key-3", "changed", server_id="A")
+        tree_a = MerkleTree.for_node(store.node("A"))
+        tree_b = MerkleTree.for_node(store.node("B"))
+        assert tree_a.root_digest != tree_b.root_digest
+
+    def test_fingerprint_tracks_sibling_identity_not_mechanism(self):
+        store = populated_store(keys=1)
+        assert key_fingerprint(store.node("A"), "key-0") != key_fingerprint(store.node("B"), "key-0")
+        store.converge()
+        assert key_fingerprint(store.node("A"), "key-0") == key_fingerprint(store.node("B"), "key-0")
+
+    def test_keys_and_fingerprint_queries(self):
+        store = populated_store(keys=3)
+        tree = MerkleTree.for_node(store.node("A"))
+        assert tree.keys() == ["key-0", "key-1", "key-2"]
+        assert tree.fingerprint("key-0") is not None
+        assert tree.fingerprint("missing") is None
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            MerkleTree({}, fanout=1)
+        with pytest.raises(ConfigurationError):
+            MerkleTree({}, depth=0)
+
+
+class TestDiffKeys:
+    def test_diff_finds_exactly_the_divergent_keys(self):
+        store = populated_store(keys=20)
+        store.converge()
+        client = ClientSession("late-writer")
+        for key in ("key-2", "key-15"):
+            client.get(store, key, server_id="A")
+            client.put(store, key, "changed-" + key, server_id="A")
+        universe = store.node("A").storage.keys()
+        tree_a = MerkleTree.for_node(store.node("A"), universe)
+        tree_b = MerkleTree.for_node(store.node("B"), universe)
+        assert sorted(diff_keys(tree_a, tree_b)) == ["key-15", "key-2"]
+
+    def test_diff_skips_agreeing_buckets(self):
+        store = populated_store(keys=50)
+        store.converge()
+        client = ClientSession("late-writer")
+        client.get(store, "key-7", server_id="A")
+        client.put(store, "key-7", "changed", server_id="A")
+        universe = store.node("A").storage.keys()
+        tree_a = MerkleTree.for_node(store.node("A"), universe)
+        tree_b = MerkleTree.for_node(store.node("B"), universe)
+        stats = DiffStats()
+        divergent = diff_keys(tree_a, tree_b, stats)
+        assert divergent == ["key-7"]
+        # far fewer per-key comparisons than the 50-key universe
+        assert stats.keys_compared < 20
+        assert stats.keys_divergent == 1
+
+    def test_identical_trees_compare_only_the_root(self):
+        store = populated_store(keys=10)
+        store.converge()
+        tree_a = MerkleTree.for_node(store.node("A"))
+        tree_b = MerkleTree.for_node(store.node("B"))
+        stats = DiffStats()
+        assert diff_keys(tree_a, tree_b, stats) == []
+        assert stats.nodes_compared == 1
+        assert stats.keys_compared == 0
+
+    def test_mismatched_shapes_rejected(self):
+        tree_a = MerkleTree({}, fanout=4, depth=2)
+        tree_b = MerkleTree({}, fanout=8, depth=2)
+        with pytest.raises(ConfigurationError):
+            diff_keys(tree_a, tree_b)
+
+
+class TestMerkleAntiEntropy:
+    def test_converges_the_store(self):
+        store = populated_store(keys=15)
+        anti_entropy = MerkleAntiEntropy(store)
+        rounds = anti_entropy.run_until_converged()
+        assert store.is_converged()
+        assert rounds >= 1
+        assert anti_entropy.keys_synced > 0
+
+    def test_skips_already_synchronised_keys(self):
+        store = populated_store(keys=30)
+        store.converge()
+        client = ClientSession("late-writer")
+        client.get(store, "key-9", server_id="A")
+        client.put(store, "key-9", "changed", server_id="A")
+        anti_entropy = MerkleAntiEntropy(store)
+        anti_entropy.run_until_converged()
+        assert anti_entropy.efficiency() > 0.5
+        assert anti_entropy.keys_synced < 30
+
+    def test_requires_two_servers(self):
+        store = SyncReplicatedStore(DVVMechanism(), server_ids=("A",))
+        with pytest.raises(ConfigurationError):
+            MerkleAntiEntropy(store).run_round()
+
+    def test_efficiency_of_empty_run(self):
+        store = SyncReplicatedStore(DVVMechanism(), server_ids=("A", "B"))
+        anti_entropy = MerkleAntiEntropy(store)
+        assert anti_entropy.efficiency() == 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for read repair planning and anti-entropy scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DVVMechanism, Sibling
+from repro.core import CausalHistory, ConfigurationError, Dot
+from repro.kvstore import (
+    AntiEntropyDaemon,
+    AntiEntropyScheduler,
+    ClientSession,
+    ReadRepairStats,
+    SyncReplicatedStore,
+    plan_read_repair,
+)
+from repro.network import Simulation
+
+
+def sibling(value, writer="c1", seq=1):
+    dot = Dot(writer, seq)
+    return Sibling(value=value, origin_dot=dot, history=CausalHistory(dot), writer=writer)
+
+
+class TestReadRepairPlanning:
+    def setup_method(self):
+        self.mechanism = DVVMechanism()
+        self.fresh = self.mechanism.write(
+            self.mechanism.empty_state(), self.mechanism.empty_context(),
+            sibling("v1"), "A", "c1")
+
+    def test_agreeing_replicas_need_no_repair(self):
+        plan = plan_read_repair(self.mechanism, [("A", self.fresh), ("B", self.fresh)])
+        assert plan.agreed
+        assert plan.stale_replicas == []
+
+    def test_stale_replica_detected(self):
+        stale = self.mechanism.empty_state()
+        plan = plan_read_repair(self.mechanism, [("A", self.fresh), ("B", stale)])
+        assert not plan.agreed
+        assert plan.stale_replicas == ["B"]
+        assert [s.value for s in self.mechanism.siblings(plan.merged_state)] == ["v1"]
+
+    def test_divergent_replicas_both_repaired(self):
+        other = self.mechanism.write(
+            self.mechanism.empty_state(), self.mechanism.empty_context(),
+            sibling("v2", writer="c2"), "B", "c2")
+        plan = plan_read_repair(self.mechanism, [("A", self.fresh), ("B", other)])
+        assert set(plan.stale_replicas) == {"A", "B"}
+        merged_values = sorted(s.value for s in self.mechanism.siblings(plan.merged_state))
+        assert merged_values == ["v1", "v2"]
+
+    def test_requires_at_least_one_reply(self):
+        with pytest.raises(ValueError):
+            plan_read_repair(self.mechanism, [])
+
+    def test_stats_accumulation(self):
+        stats = ReadRepairStats()
+        stats.record(plan_read_repair(self.mechanism, [("A", self.fresh), ("B", self.fresh)]))
+        stats.record(plan_read_repair(self.mechanism,
+                                      [("A", self.fresh), ("B", self.mechanism.empty_state())]))
+        assert stats.reads_checked == 2
+        assert stats.repairs_triggered == 1
+        assert stats.replicas_repaired == 1
+        assert stats.repair_rate == 0.5
+        assert stats.as_dict()["repair_rate"] == 0.5
+
+
+class TestAntiEntropyScheduler:
+    def populate(self, store):
+        for index, server in enumerate(sorted(store.servers)):
+            client = ClientSession(f"client-{index}")
+            client.get(store, "k", server_id=server)
+            client.put(store, "k", f"v-{server}", server_id=server)
+
+    def test_round_robin_pairs_converge_store(self):
+        store = SyncReplicatedStore(DVVMechanism(), server_ids=("A", "B", "C"))
+        self.populate(store)
+        scheduler = AntiEntropyScheduler(store)
+        rounds = scheduler.run_until_converged()
+        assert store.is_converged()
+        assert rounds == scheduler.rounds_run
+        assert sorted(store.values("k", "A")) == ["v-A", "v-B", "v-C"]
+
+    def test_single_round_syncs_one_pair(self):
+        store = SyncReplicatedStore(DVVMechanism(), server_ids=("A", "B", "C"))
+        self.populate(store)
+        scheduler = AntiEntropyScheduler(store)
+        pair = scheduler.run_round("k")
+        assert len(set(pair)) == 2
+        assert not store.is_converged("k")  # three-way divergence needs more rounds
+
+    def test_requires_two_servers(self):
+        store = SyncReplicatedStore(DVVMechanism(), server_ids=("A",))
+        scheduler = AntiEntropyScheduler(store)
+        with pytest.raises(ConfigurationError):
+            scheduler.run_round()
+
+
+class TestAntiEntropyDaemon:
+    def test_daemon_triggers_pairwise_exchanges(self):
+        simulation = Simulation()
+        calls = []
+        daemon = AntiEntropyDaemon(simulation, lambda a, b: calls.append((a, b)),
+                                   ["A", "B", "C"], interval_ms=10.0)
+        simulation.run(until=45.0)
+        assert daemon.exchanges_started == 4
+        assert len(calls) == 4
+        assert all(a != b for a, b in calls)
+        daemon.stop()
+        simulation.run_until_idle()
+        assert daemon.exchanges_started == 4
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            AntiEntropyDaemon(Simulation(), lambda a, b: None, ["only"], interval_ms=5.0)

@@ -1,0 +1,160 @@
+"""Unit tests for the message-passing simulated cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import ClientVVMechanism, DVVMechanism
+from repro.cluster import QuorumConfig
+from repro.kvstore import SimulatedCluster, default_value_size
+from repro.network import FixedLatency, SizeDependentLatency
+
+
+def build_cluster(mechanism=None, **kwargs):
+    kwargs.setdefault("server_ids", ("n1", "n2", "n3"))
+    kwargs.setdefault("latency", FixedLatency(1.0))
+    kwargs.setdefault("anti_entropy_interval_ms", None)
+    kwargs.setdefault("seed", 1)
+    return SimulatedCluster(mechanism or DVVMechanism(), **kwargs)
+
+
+class TestBasicRequestFlow:
+    def test_put_then_get(self):
+        cluster = build_cluster()
+        client = cluster.client("alice")
+        outcomes = {}
+        client.put("k", "v1", lambda result: outcomes.setdefault("put", result))
+        cluster.run(until=50)
+        client.get("k", lambda result: outcomes.setdefault("get", result))
+        cluster.drain()
+        assert outcomes["put"].coordinator in cluster.servers
+        assert outcomes["get"].values == ["v1"]
+        records = cluster.all_request_records()
+        assert len(records) == 2
+        assert all(record.ok for record in records)
+        assert all(record.latency_ms > 0 for record in records)
+
+    def test_read_modify_write_chain(self):
+        cluster = build_cluster()
+        client = cluster.client("alice")
+        final = {}
+
+        def third(result):
+            final["values"] = result.values
+
+        def second(_):
+            client.get("counter", lambda r: client.put("counter", "2",
+                                                       lambda _r: client.get("counter", third)))
+
+        client.put("counter", "1", second)
+        cluster.drain()
+        assert final["values"] == ["2"]
+
+    def test_client_reuse(self):
+        cluster = build_cluster()
+        assert cluster.client("alice") is cluster.client("alice")
+
+
+class TestReplicationAndQuorums:
+    def test_write_reaches_quorum_replicas(self):
+        cluster = build_cluster(quorum=QuorumConfig(n=3, r=2, w=2))
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.drain()
+        holding = [
+            server_id for server_id, server in cluster.servers.items()
+            if server.node.values_of("k") == ["v1"]
+        ]
+        assert len(holding) >= 2
+
+    def test_read_repair_fixes_stale_replica(self):
+        cluster = build_cluster(quorum=QuorumConfig(n=3, r=3, w=1))
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=30)
+        # Reading with R=3 forces the coordinator to notice and repair any
+        # replica that missed the write.
+        client.get("k")
+        cluster.drain()
+        holding = [
+            server_id for server_id, server in cluster.servers.items()
+            if server.node.values_of("k") == ["v1"]
+        ]
+        assert len(holding) == 3
+
+    def test_anti_entropy_converges_without_reads(self):
+        cluster = build_cluster(anti_entropy_interval_ms=20.0,
+                                quorum=QuorumConfig(n=3, r=1, w=1))
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=500)
+        cluster.drain()
+        counts = cluster.sibling_counts("k")
+        assert all(count == 1 for count in counts.values())
+
+    def test_concurrent_clients_create_siblings(self):
+        cluster = build_cluster()
+        alice, bob = cluster.client("alice"), cluster.client("bob")
+        # both read the empty key, then write concurrently
+        alice.get("cart", lambda _1: None)
+        bob.get("cart", lambda _2: None)
+        cluster.run(until=30)
+        alice.put("cart", ["apple"])
+        bob.put("cart", ["banana"])
+        cluster.run(until=80)
+        observed = {}
+        cluster.client("carol").get("cart", lambda r: observed.setdefault("values", r.values))
+        cluster.drain()
+        assert sorted(map(tuple, observed["values"])) == [("apple",), ("banana",)]
+
+
+class TestFailuresAndMetrics:
+    def test_failed_node_is_bypassed(self):
+        cluster = build_cluster(quorum=QuorumConfig(n=2, r=1, w=1))
+        victim = cluster.placement.coordinator_for("k")
+        cluster.fail_node(victim)
+        client = cluster.client("alice")
+        outcome = {}
+        client.put("k", "v1", lambda result: outcome.setdefault("coordinator", result.coordinator))
+        cluster.drain()
+        assert outcome["coordinator"] != victim
+        cluster.recover_node(victim)
+        assert cluster.membership.is_up(victim)
+
+    def test_metadata_accounting(self):
+        cluster = build_cluster()
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.drain()
+        assert cluster.metadata_entries() >= 1
+        assert cluster.metadata_bytes() > 0
+
+    def test_larger_metadata_means_slower_requests(self):
+        """The latency experiment's causal chain in miniature: same workload,
+        size-dependent latency, bigger clocks, slower requests."""
+        def run(mechanism, client_count=6):
+            cluster = SimulatedCluster(
+                mechanism,
+                server_ids=("n1", "n2", "n3"),
+                latency=SizeDependentLatency(base=FixedLatency(0.2), bytes_per_ms=300.0),
+                anti_entropy_interval_ms=None,
+                seed=3,
+            )
+            clients = [cluster.client(f"c{i}") for i in range(client_count)]
+            for round_index in range(4):
+                for client in clients:
+                    client.get("hot", lambda _r, c=client, i=round_index:
+                               c.put("hot", f"{c.client_id}:{i}"))
+                cluster.run(until=cluster.simulation.now + 200)
+            cluster.drain()
+            records = [r for r in cluster.all_request_records() if r.operation == "put"]
+            return sum(r.latency_ms for r in records) / len(records)
+
+        dvv_latency = run(DVVMechanism())
+        client_vv_latency = run(ClientVVMechanism())
+        assert client_vv_latency > dvv_latency
+
+    def test_value_size_estimation(self):
+        assert default_value_size(b"1234") == 4
+        assert default_value_size("abc") == len(repr("abc"))
+        assert default_value_size({"a": 1}) > 0

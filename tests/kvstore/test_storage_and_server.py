@@ -1,0 +1,98 @@
+"""Unit tests for node storage and the replica-local server operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DVVMechanism, Sibling
+from repro.core import CausalHistory, Dot, StaleContextError
+from repro.kvstore import NodeStorage, StorageNode
+from repro.kvstore.context import CausalContext
+
+
+def sibling(value, writer="c1", seq=1):
+    dot = Dot(writer, seq)
+    return Sibling(value=value, origin_dot=dot, history=CausalHistory(dot), writer=writer)
+
+
+class TestNodeStorage:
+    def test_missing_key_returns_empty_state(self):
+        storage = NodeStorage(DVVMechanism())
+        state = storage.get_state("nope")
+        assert storage.mechanism.is_empty(state)
+        assert "nope" not in storage
+
+    def test_put_and_get_state(self):
+        mechanism = DVVMechanism()
+        storage = NodeStorage(mechanism)
+        state = mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                                sibling("v1"), "A", "c1")
+        storage.put_state("k", state)
+        assert storage.has_key("k")
+        assert storage.sibling_count("k") == 1
+        assert storage.keys() == ["k"]
+
+    def test_storing_empty_state_removes_key(self):
+        mechanism = DVVMechanism()
+        storage = NodeStorage(mechanism)
+        state = mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                                sibling("v1"), "A", "c1")
+        storage.put_state("k", state)
+        storage.put_state("k", mechanism.empty_state())
+        assert not storage.has_key("k")
+
+    def test_delete_and_len(self):
+        mechanism = DVVMechanism()
+        storage = NodeStorage(mechanism)
+        state = mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                                sibling("v1"), "A", "c1")
+        storage.put_state("k1", state)
+        storage.put_state("k2", state)
+        assert len(storage) == 2
+        storage.delete("k1")
+        assert len(storage) == 1
+        assert list(dict(storage.items())) == ["k2"]
+
+    def test_metadata_accounting_aggregates(self):
+        mechanism = DVVMechanism()
+        storage = NodeStorage(mechanism)
+        state = mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                                sibling("v1"), "A", "c1")
+        storage.put_state("k1", state)
+        storage.put_state("k2", state)
+        assert storage.metadata_entries() == 2 * storage.metadata_entries("k1")
+        assert storage.metadata_bytes() == 2 * storage.metadata_bytes("k1")
+        assert storage.metadata_entries("missing") == 0
+
+
+class TestStorageNode:
+    def test_local_write_then_read(self):
+        node = StorageNode("A", DVVMechanism())
+        node.local_write("k", None, sibling("v1"), "c1")
+        read = node.local_read("k")
+        assert [s.value for s in read.siblings] == ["v1"]
+        assert node.values_of("k") == ["v1"]
+        assert node.stats["writes"] == 1
+        assert node.stats["reads"] == 1
+
+    def test_context_key_mismatch_rejected(self):
+        node = StorageNode("A", DVVMechanism())
+        bad_context = CausalContext.initial("other-key", "dvv",
+                                            DVVMechanism().empty_context())
+        with pytest.raises(StaleContextError):
+            node.local_write("k", bad_context, sibling("v1"), "c1")
+
+    def test_local_merge_brings_in_remote_state(self):
+        mechanism = DVVMechanism()
+        source = StorageNode("A", mechanism)
+        target = StorageNode("B", mechanism)
+        source.local_write("k", None, sibling("v1"), "c1")
+        target.local_merge("k", source.state_of("k"))
+        assert target.values_of("k") == ["v1"]
+        assert target.stats["merges"] == 1
+
+    def test_metadata_passthrough(self):
+        node = StorageNode("A", DVVMechanism())
+        node.local_write("k", None, sibling("v1"), "c1")
+        assert node.metadata_entries("k") >= 1
+        assert node.metadata_bytes() > 0

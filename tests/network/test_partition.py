@@ -1,0 +1,70 @@
+"""Unit tests for the partition manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import PartitionManager
+
+
+class TestGroups:
+    def test_fully_connected_by_default(self):
+        pm = PartitionManager()
+        assert pm.can_communicate("A", "B")
+        assert pm.can_communicate("A", "A")
+
+    def test_partition_splits_groups(self):
+        pm = PartitionManager()
+        pm.partition({"A", "B"}, {"C"})
+        assert pm.can_communicate("A", "B")
+        assert not pm.can_communicate("A", "C")
+        assert not pm.can_communicate("C", "B")
+
+    def test_unlisted_nodes_talk_to_everyone(self):
+        pm = PartitionManager()
+        pm.partition({"A"}, {"B"})
+        assert pm.can_communicate("A", "X")
+        assert pm.can_communicate("X", "B")
+
+    def test_heal(self):
+        pm = PartitionManager()
+        pm.partition({"A"}, {"B"})
+        pm.heal()
+        assert pm.can_communicate("A", "B")
+
+    def test_overlapping_groups_rejected(self):
+        pm = PartitionManager()
+        with pytest.raises(ValueError):
+            pm.partition({"A", "B"}, {"B", "C"})
+
+    def test_repartition_replaces_previous(self):
+        pm = PartitionManager()
+        pm.partition({"A"}, {"B", "C"})
+        pm.partition({"A", "B"}, {"C"})
+        assert pm.can_communicate("A", "B")
+        assert not pm.can_communicate("B", "C")
+
+
+class TestLinks:
+    def test_cut_and_restore_link(self):
+        pm = PartitionManager()
+        pm.cut_link("A", "B")
+        assert not pm.can_communicate("A", "B")
+        assert not pm.can_communicate("B", "A")
+        assert pm.can_communicate("A", "C")
+        pm.restore_link("A", "B")
+        assert pm.can_communicate("A", "B")
+
+    def test_cut_link_independent_of_groups(self):
+        pm = PartitionManager()
+        pm.cut_link("A", "B")
+        pm.heal()
+        assert not pm.can_communicate("A", "B")
+
+    def test_describe(self):
+        pm = PartitionManager()
+        pm.partition({"A"}, {"B"})
+        pm.cut_link("C", "D")
+        snapshot = pm.describe()
+        assert ["A"] in snapshot["groups"]
+        assert ("C", "D") in snapshot["cut_links"]

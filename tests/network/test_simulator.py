@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SchedulingError, SimulationError
+from repro.network import PeriodicTask, Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(3.0, lambda: order.append("middle"))
+        sim.run_until_idle()
+        assert order == ["early", "middle", "late"]
+        assert sim.now == 5.0
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        sim = Simulation()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulation()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(1.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_cancellation(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("no"))
+        sim.schedule(2.0, lambda: fired.append("yes"))
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == ["yes"]
+        assert handle.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run_until_idle()
+        assert fired == [1, 10]
+
+    def test_step(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == ["a"]
+
+    def test_max_events_guard(self):
+        sim = Simulation()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.1, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+    def test_determinism_with_same_seed(self):
+        def run(seed):
+            sim = Simulation(seed=seed)
+            values = []
+            for _ in range(10):
+                sim.schedule(sim.rng.random(), lambda: values.append(sim.now))
+            sim.run_until_idle()
+            return values
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_counters(self):
+        sim = Simulation()
+        sim.bump("messages")
+        sim.bump("messages", 4)
+        assert sim.counters["messages"] == 5
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulation()
+        ticks = []
+        PeriodicTask(sim, interval=10.0, callback=lambda: ticks.append(sim.now))
+        sim.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_stop(self):
+        sim = Simulation()
+        ticks = []
+        task = PeriodicTask(sim, interval=10.0, callback=lambda: ticks.append(sim.now))
+        sim.run(until=25.0)
+        task.stop()
+        sim.run_until_idle()
+        assert ticks == [10.0, 20.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SchedulingError):
+            PeriodicTask(Simulation(), interval=0.0, callback=lambda: None)

@@ -1,0 +1,96 @@
+"""Unit tests for the closed-loop client drivers over the simulated cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DVVMechanism
+from repro.core import ConfigurationError
+from repro.kvstore import SimulatedCluster
+from repro.network import FixedLatency
+from repro.workloads import ClosedLoopClient, ClosedLoopConfig, run_closed_loop_workload
+
+
+def build_cluster(seed=0):
+    return SimulatedCluster(
+        DVVMechanism(),
+        server_ids=("n1", "n2", "n3"),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=50.0,
+        seed=seed,
+    )
+
+
+class TestClosedLoopConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClosedLoopConfig(keys=())
+        with pytest.raises(ConfigurationError):
+            ClosedLoopConfig(think_time_ms=-1)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopConfig(write_fraction=1.2)
+
+
+class TestClosedLoopClient:
+    def test_driver_issues_operations_until_stop_time(self):
+        cluster = build_cluster()
+        config = ClosedLoopConfig(keys=("k1", "k2"), think_time_ms=2.0,
+                                  write_fraction=0.5, stop_at_ms=200.0)
+        driver = ClosedLoopClient(cluster, "alice", config, seed=1)
+        driver.start()
+        cluster.run(until=200.0)
+        driver.stop()
+        cluster.drain()
+        assert driver.operations_started > 5
+        records = driver.client.records
+        assert records
+        assert all(record.ok for record in records)
+        assert {record.operation for record in records} <= {"get", "put"}
+
+    def test_stop_prevents_new_operations(self):
+        cluster = build_cluster()
+        config = ClosedLoopConfig(keys=("k",), think_time_ms=1.0, stop_at_ms=500.0)
+        driver = ClosedLoopClient(cluster, "alice", config, seed=2)
+        driver.start()
+        cluster.run(until=20.0)
+        started_before = driver.operations_started
+        driver.stop()
+        cluster.drain()
+        assert driver.operations_started == started_before
+
+    def test_writes_follow_reads(self):
+        """Read-modify-write drivers issue a get before each (non-blind) put."""
+        cluster = build_cluster()
+        config = ClosedLoopConfig(keys=("k",), think_time_ms=1.0,
+                                  write_fraction=1.0, stop_at_ms=100.0)
+        driver = ClosedLoopClient(cluster, "alice", config, seed=3)
+        driver.start()
+        cluster.run(until=100.0)
+        driver.stop()
+        cluster.drain()
+        operations = [record.operation for record in driver.client.records]
+        assert operations.count("get") >= operations.count("put")
+        assert operations.count("put") > 0
+
+
+class TestRunClosedLoopWorkload:
+    def test_multiple_clients_generate_traffic(self):
+        cluster = build_cluster(seed=5)
+        config = ClosedLoopConfig(keys=("hot",), think_time_ms=3.0,
+                                  write_fraction=0.6, stop_at_ms=300.0)
+        drivers = run_closed_loop_workload(cluster, client_count=4, config=config)
+        assert len(drivers) == 4
+        records = cluster.all_request_records()
+        assert len(records) > 10
+        # the shared key converged after the drain
+        counts = cluster.sibling_counts("hot")
+        present = [count for count in counts.values() if count > 0]
+        assert present and max(present) >= 1
+
+    def test_blind_writers_produce_siblings(self):
+        cluster = build_cluster(seed=6)
+        config = ClosedLoopConfig(keys=("hot",), think_time_ms=2.0, write_fraction=1.0,
+                                  blind_write_fraction=1.0, stop_at_ms=150.0)
+        run_closed_loop_workload(cluster, client_count=3, config=config)
+        counts = cluster.sibling_counts("hot")
+        assert max(counts.values()) >= 2

@@ -1,0 +1,98 @@
+"""Unit tests for trace construction and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks import DVVMechanism, ServerVVMechanism
+from repro.core import WorkloadError
+from repro.workloads import Operation, OpType, Trace, replay_trace
+
+
+class TestTraceConstruction:
+    def test_builder_methods_chain(self):
+        trace = (Trace(server_ids=("A", "B"))
+                 .get("c1", "k", server="A")
+                 .put("c1", "k", "v1", server="A")
+                 .blind_put("c2", "k", "v2")
+                 .forget("c1", "k")
+                 .sync("A", "B")
+                 .sync_all())
+        assert len(trace) == 6
+        assert trace.clients() == ["c1", "c2"]
+        assert trace.keys() == ["k"]
+        assert [op.op for op in trace] == [
+            OpType.GET, OpType.PUT, OpType.BLIND_PUT, OpType.FORGET, OpType.SYNC, OpType.SYNC_ALL
+        ]
+
+    def test_invalid_operations_rejected(self):
+        trace = Trace()
+        with pytest.raises(WorkloadError):
+            trace.append(Operation(OpType.GET, client="c1"))              # no key
+        with pytest.raises(WorkloadError):
+            trace.append(Operation(OpType.PUT, client="c1", key="k"))     # no value
+        with pytest.raises(WorkloadError):
+            trace.append(Operation(OpType.SYNC, server="A"))              # no target
+
+    def test_extend_validates_each_operation(self):
+        trace = Trace()
+        with pytest.raises(WorkloadError):
+            trace.extend([Operation(OpType.GET, client="c1")])
+
+
+class TestReplay:
+    def build_trace(self):
+        return (Trace(server_ids=("A", "B"), name="simple")
+                .get("c1", "k", server="A")
+                .put("c1", "k", "v1", server="A")
+                .get("c2", "k", server="A")
+                .put("c2", "k", "v2", server="A")
+                .sync("A", "B"))
+
+    def test_replay_produces_store_and_clients(self):
+        result = replay_trace(self.build_trace(), DVVMechanism())
+        assert result.mechanism_name == "dvv"
+        assert set(result.clients) == {"c1", "c2"}
+        assert result.store.values("k", "B") == ["v2"]
+        assert len(result.store.write_log) == 2
+
+    def test_same_trace_different_mechanisms(self):
+        trace = self.build_trace()
+        dvv_result = replay_trace(trace, DVVMechanism())
+        server_result = replay_trace(trace, ServerVVMechanism())
+        # This trace has no concurrency, so both mechanisms agree.
+        assert dvv_result.store.values("k", "B") == server_result.store.values("k", "B")
+
+    def test_blind_put_ignores_context(self):
+        trace = (Trace(server_ids=("A",))
+                 .get("c1", "k", server="A")
+                 .put("c1", "k", "v1", server="A")
+                 .blind_put("c1", "k", "v2", server="A"))
+        result = replay_trace(trace, DVVMechanism())
+        assert sorted(result.store.values("k", "A")) == ["v1", "v2"]
+
+    def test_forget_resets_context(self):
+        trace = (Trace(server_ids=("A",))
+                 .get("c1", "k", server="A")
+                 .put("c1", "k", "v1", server="A")
+                 .get("c1", "k", server="A")
+                 .forget("c1", "k")
+                 .put("c1", "k", "v2", server="A"))
+        result = replay_trace(trace, DVVMechanism())
+        assert sorted(result.store.values("k", "A")) == ["v1", "v2"]
+
+    def test_sync_without_key_syncs_everything(self):
+        trace = (Trace(server_ids=("A", "B"))
+                 .get("c1", "k1", server="A").put("c1", "k1", "x", server="A")
+                 .get("c1", "k2", server="A").put("c1", "k2", "y", server="A")
+                 .sync("A", "B"))
+        result = replay_trace(trace, DVVMechanism())
+        assert result.store.values("k1", "B") == ["x"]
+        assert result.store.values("k2", "B") == ["y"]
+
+    def test_replicate_on_write_option(self):
+        trace = (Trace(server_ids=("A", "B"))
+                 .get("c1", "k", server="A")
+                 .put("c1", "k", "v1", server="A"))
+        result = replay_trace(trace, DVVMechanism(), replicate_on_write=True)
+        assert result.store.values("k", "B") == ["v1"]
