@@ -3,18 +3,37 @@
 Not a figure in the paper, but part of the substrate its evaluation runs on:
 Riak converges replicas with hashtree exchange rather than shipping every key
 every round.  This benchmark quantifies what the Merkle tree buys on this
-substrate (keys transferred per convergence) and confirms that the choice of
-anti-entropy strategy does not change any causal outcome — both strategies
-converge to identical sibling sets, only the transfer volume differs.
+substrate (keys transferred per convergence on the synchronous store, and
+bytes of sync traffic on the simulated message-passing cluster) and confirms
+that the choice of anti-entropy strategy does not change any causal outcome —
+both strategies converge to identical sibling sets, only the transfer volume
+differs.
+
+Besides the pytest benchmarks, the module runs standalone as a smoke check
+for CI::
+
+    PYTHONPATH=src python benchmarks/bench_anti_entropy.py --smoke
+
+which fails (non-zero exit) if the Merkle-delta protocol stops transferring
+strictly fewer bytes than the full-state exchange on a mostly-synced store.
 """
 
 from __future__ import annotations
+
+import pathlib
+import sys
+
+try:  # pragma: no cover - trivial import guard (script mode)
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover - only on uninstalled checkouts
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
 from repro.analysis import render_table
 from repro.clocks import create
-from repro.kvstore import AntiEntropyScheduler, ClientSession, MerkleAntiEntropy, SyncReplicatedStore
+from repro.kvstore import AntiEntropyScheduler, ClientSession, MerkleAntiEntropy, SimulatedCluster, SyncReplicatedStore
+from repro.network import FixedLatency
 from repro.workloads import WorkloadConfig, generate_workload, replay_trace
 
 KEY_COUNTS = [10, 50, 200]
@@ -120,3 +139,119 @@ def test_benchmark_workload_with_merkle_convergence(benchmark, mechanism_name):
 
     replay = benchmark.pedantic(run, rounds=3, iterations=1)
     assert replay.store.is_converged()
+
+
+# --------------------------------------------------------------------------- #
+# Message-passing cluster: full-state vs Merkle-delta sync traffic (bytes)
+# --------------------------------------------------------------------------- #
+def cluster_sync_bytes(keys: int, strategy: str, seed: int = 9):
+    """Bytes of sync traffic to converge a mostly-synced simulated cluster.
+
+    Builds a 3-server cluster, fully converges it, diverges ~10% of the keys
+    behind a partition, heals, and measures the sync-message bytes one
+    convergence costs under the given anti-entropy strategy.
+    """
+    cluster = SimulatedCluster(
+        create("dvv"),
+        server_ids=("A", "B", "C"),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=None,
+        hint_replay_interval_ms=None,
+        anti_entropy_strategy=strategy,
+        seed=seed,
+    )
+    client = cluster.client("writer")
+    for index in range(keys):
+        client.put(f"key-{index}", f"value-{index}")
+        cluster.simulation.run_until_idle()
+    cluster.converge()
+
+    # Diverge ~10% of the keys behind a partition so only the majority side
+    # sees the late writes.  Keys coordinated by the isolated node C are
+    # skipped: a GET through C could not reach its R=2 quorum and would stall
+    # without ever issuing the divergence write.
+    majority_keys = [key for key in cluster.key_universe()
+                     if cluster.placement.coordinator_for(key) != "C"]
+    divergent = max(1, keys // 10)
+    step = max(1, len(majority_keys) // divergent)
+    cluster.partitions.partition({"A", "B"}, {"C"})
+    for key in majority_keys[::step][:divergent]:
+        client.get(key, lambda result, k=key: client.put(k, f"late-{k}"))
+        cluster.simulation.run_until_idle()
+    cluster.partitions.heal()
+
+    before = cluster.sync_bytes()
+    rounds = cluster.converge()
+    return cluster.sync_bytes() - before, rounds, cluster
+
+
+CLUSTER_KEY_COUNTS = [20, 60, 150]
+
+
+@pytest.fixture(scope="module")
+def cluster_byte_sweep():
+    return {
+        keys: {strategy: cluster_sync_bytes(keys, strategy)[0]
+               for strategy in ("full", "merkle")}
+        for keys in CLUSTER_KEY_COUNTS
+    }
+
+
+def test_report_cluster_sync_bytes(cluster_byte_sweep, publish):
+    rows = []
+    for keys in CLUSTER_KEY_COUNTS:
+        full = cluster_byte_sweep[keys]["full"]
+        merkle = cluster_byte_sweep[keys]["merkle"]
+        rows.append([keys, full, merkle, round(full / max(merkle, 1), 1)])
+    table = render_table(
+        ["keys", "full-state sync bytes", "merkle-delta sync bytes", "savings factor"],
+        rows,
+        title="Simulated cluster — sync bytes until convergence (10% keys divergent)",
+    )
+    publish("cluster_sync_bytes", table)
+    for keys in CLUSTER_KEY_COUNTS:
+        assert cluster_byte_sweep[keys]["merkle"] < cluster_byte_sweep[keys]["full"]
+
+
+def test_cluster_strategies_reach_identical_states():
+    _, _, full_cluster = cluster_sync_bytes(40, "full")
+    _, _, merkle_cluster = cluster_sync_bytes(40, "merkle")
+    assert full_cluster.is_converged() and merkle_cluster.is_converged()
+    for key in full_cluster.key_universe():
+        full_values = sorted(map(repr, full_cluster.servers["A"].node.values_of(key)))
+        merkle_values = sorted(map(repr, merkle_cluster.servers["A"].node.values_of(key)))
+        assert full_values == merkle_values
+
+
+def run_smoke(keys: int = 60) -> int:
+    """Quick regression gate for CI: merkle must beat full-state on bytes."""
+    full_bytes, full_rounds, _ = cluster_sync_bytes(keys, "full")
+    merkle_bytes, merkle_rounds, merkle_cluster = cluster_sync_bytes(keys, "merkle")
+    print(render_table(
+        ["strategy", "sync bytes", "rounds"],
+        [["full", full_bytes, full_rounds], ["merkle", merkle_bytes, merkle_rounds]],
+        title=f"Anti-entropy smoke ({keys} keys, 10% divergent)",
+    ))
+    if not merkle_cluster.is_converged():
+        print("FAIL: merkle strategy did not converge", file=sys.stderr)
+        return 1
+    if merkle_bytes >= full_bytes:
+        print("FAIL: merkle-delta sync no longer transfers fewer bytes than "
+              f"full-state exchange ({merkle_bytes} >= {full_bytes})", file=sys.stderr)
+        return 1
+    print(f"OK: merkle-delta saves {full_bytes - merkle_bytes} bytes "
+          f"({full_bytes / max(merkle_bytes, 1):.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the quick full-vs-merkle byte regression check")
+    parser.add_argument("--keys", type=int, default=60)
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run under pytest for the full benchmark, or pass --smoke")
+    raise SystemExit(run_smoke(keys=args.keys))

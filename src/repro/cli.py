@@ -8,6 +8,7 @@ be regenerated without writing Python::
     python -m repro scenario concurrent_writers --mechanism server_vv
     python -m repro compare --clients 32 --operations 300 --seed 7
     python -m repro cluster --mechanism dvv --clients 16 --duration-ms 500
+    python -m repro churn --scenario elasticity --mechanism dvvset
 
 Every subcommand prints the same plain-text tables the benchmarks persist
 under ``benchmarks/results/``.
@@ -31,12 +32,14 @@ from .cluster import QuorumConfig
 from .kvstore import SimulatedCluster
 from .network import FixedLatency, SizeDependentLatency
 from .workloads import (
+    CHURN_SCENARIOS,
     ClosedLoopConfig,
     WorkloadConfig,
     generate_workload,
     named_scenarios,
     replay_scenario,
     replay_trace,
+    run_churn_scenario,
     run_closed_loop_workload,
     run_figure1_by_name,
 )
@@ -146,6 +149,35 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Run a churn scenario (elastic membership / flappy replica) and report."""
+    report = run_churn_scenario(args.scenario, create(args.mechanism), seed=args.seed,
+                                anti_entropy_strategy=args.anti_entropy)
+    stats = report.stats
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scenario", report.scenario],
+            ["mechanism", report.mechanism],
+            ["converged", report.converged],
+            ["convergence rounds", report.convergence_rounds],
+            ["final servers", ",".join(report.final_servers)],
+            ["joined", ",".join(report.joined) or "-"],
+            ["departed", ",".join(report.departed) or "-"],
+            ["handoff keys", report.handoff_keys],
+            ["requests completed", report.requests_completed],
+            ["hints stored", stats.get("hints_stored", 0)],
+            ["hint replays", stats.get("hint_replays", 0)],
+            ["merkle key syncs", stats.get("merkle_syncs", 0)],
+            ["rebalance handoffs", stats.get("handoffs", 0)],
+            ["ordinary merges", stats.get("merges", 0)],
+            ["sync bytes on the wire", report.sync_bytes],
+        ],
+        title=f"Churn scenario {report.scenario!r} under {report.mechanism}",
+    ))
+    return 0 if report.converged else 1
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     """Run the simulated message-passing cluster under a closed-loop workload."""
     cluster = SimulatedCluster(
@@ -156,6 +188,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                             w=min(2, args.servers)),
         latency=SizeDependentLatency(base=FixedLatency(0.25), bytes_per_ms=args.bytes_per_ms),
         anti_entropy_interval_ms=50.0,
+        anti_entropy_strategy=args.anti_entropy,
         seed=args.seed,
     )
     workload = ClosedLoopConfig(
@@ -233,9 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--mechanisms", type=_mechanism_list, default=None)
     compare.set_defaults(handler=cmd_compare)
 
+    churn = subparsers.add_parser("churn",
+                                  help="run a membership-churn scenario on the "
+                                       "simulated cluster")
+    churn.add_argument("--scenario", default="elasticity",
+                       choices=sorted(CHURN_SCENARIOS))
+    churn.add_argument("--mechanism", default="dvv", choices=available())
+    churn.add_argument("--anti-entropy", default="merkle", choices=["merkle", "full"],
+                       dest="anti_entropy")
+    churn.add_argument("--seed", type=int, default=2012)
+    churn.set_defaults(handler=cmd_churn)
+
     cluster = subparsers.add_parser("cluster",
                                     help="run the simulated message-passing cluster")
     cluster.add_argument("--mechanism", default="dvv", choices=available())
+    cluster.add_argument("--anti-entropy", default="merkle", choices=["merkle", "full"],
+                         dest="anti_entropy")
     cluster.add_argument("--servers", type=int, default=3)
     cluster.add_argument("--clients", type=int, default=16)
     cluster.add_argument("--keys", type=int, default=2)

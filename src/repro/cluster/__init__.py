@@ -1,14 +1,17 @@
 """Cluster substrate: consistent hashing, membership and replica placement."""
 
-from .membership import Membership, NodeInfo, NodeStatus
+from .membership import Membership, MembershipListener, NodeInfo, NodeStatus
 from .preference_list import PlacementService, QuorumConfig
-from .ring import ConsistentHashRing
+from .ring import ConsistentHashRing, RebalanceMove, rebalance_plan
 
 __all__ = [
     "ConsistentHashRing",
     "Membership",
+    "MembershipListener",
     "NodeInfo",
     "NodeStatus",
     "PlacementService",
     "QuorumConfig",
+    "RebalanceMove",
+    "rebalance_plan",
 ]

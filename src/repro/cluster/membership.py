@@ -3,19 +3,25 @@
 The membership view answers two questions the request path needs: which
 physical nodes exist (so the ring can be built) and which of them are
 currently reachable (so coordinators can skip down nodes and, with sloppy
-quorums, pick fallback replicas).  The view is deliberately simple — a static
-node list with an up/down flag toggled by tests and fault-injection
-experiments — because dynamic membership protocols (gossip, hinted membership
-transfer) are orthogonal to causality tracking.
+quorums, pick fallback replicas).  The view is dynamic: nodes can be added
+and removed at runtime (elastic clusters), and every mutation bumps a
+version counter and notifies subscribed listeners, which is how the
+simulated cluster's background daemons (anti-entropy pair scheduling, hinted
+handoff replay) learn about joins, departures, crashes and recoveries
+without polling.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List
 
 from ..core.exceptions import ConfigurationError
+
+#: Listener signature: ``callback(node_id, event)`` with event one of
+#: ``"added"``, ``"removed"``, ``"up"``, ``"down"``.
+MembershipListener = Callable[[str, str], None]
 
 
 class NodeStatus(enum.Enum):
@@ -42,8 +48,23 @@ class Membership:
 
     def __init__(self, nodes: Iterable[str] = ()) -> None:
         self._nodes: Dict[str, NodeInfo] = {}
+        self._listeners: List[MembershipListener] = []
+        #: Monotonic view version, bumped on every mutation.
+        self.version = 0
         for node in nodes:
             self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Change notification
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: MembershipListener) -> None:
+        """Register a callback invoked after every membership mutation."""
+        self._listeners.append(listener)
+
+    def _notify(self, node_id: str, event: str) -> None:
+        self.version += 1
+        for listener in self._listeners:
+            listener(node_id, event)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -55,18 +76,26 @@ class Membership:
         if node_id in self._nodes:
             raise ConfigurationError(f"node {node_id!r} already in membership")
         self._nodes[node_id] = NodeInfo(node_id)
+        self._notify(node_id, "added")
 
     def remove(self, node_id: str) -> None:
         """Remove a node from the membership entirely."""
-        self._nodes.pop(node_id, None)
+        if self._nodes.pop(node_id, None) is not None:
+            self._notify(node_id, "removed")
 
     def mark_down(self, node_id: str) -> None:
         """Mark a node as unreachable (crash / partition from everyone)."""
-        self._require(node_id).status = NodeStatus.DOWN
+        info = self._require(node_id)
+        if info.status is not NodeStatus.DOWN:
+            info.status = NodeStatus.DOWN
+            self._notify(node_id, "down")
 
     def mark_up(self, node_id: str) -> None:
         """Mark a node as reachable again."""
-        self._require(node_id).status = NodeStatus.UP
+        info = self._require(node_id)
+        if info.status is not NodeStatus.UP:
+            info.status = NodeStatus.UP
+            self._notify(node_id, "up")
 
     def _require(self, node_id: str) -> NodeInfo:
         try:

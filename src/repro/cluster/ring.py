@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
@@ -133,3 +134,44 @@ class ConsistentHashRing:
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"ConsistentHashRing(nodes={len(self._nodes)}, vnodes={self.virtual_nodes})"
+
+
+@dataclass
+class RebalanceMove:
+    """Replica-set change for one key when the ring membership changes."""
+
+    key: str
+    owners_before: List[str] = field(default_factory=list)
+    owners_after: List[str] = field(default_factory=list)
+
+    @property
+    def gained(self) -> List[str]:
+        """Nodes that become replicas of the key and need its state pushed."""
+        return [node for node in self.owners_after if node not in self.owners_before]
+
+    @property
+    def lost(self) -> List[str]:
+        """Nodes that stop being replicas of the key."""
+        return [node for node in self.owners_before if node not in self.owners_after]
+
+
+def rebalance_plan(before: ConsistentHashRing,
+                   after: ConsistentHashRing,
+                   keys: Iterable[str],
+                   replication: int) -> List[RebalanceMove]:
+    """The key movements implied by a ring change (join / decommission).
+
+    Compares each key's N-node preference list on the two rings and returns a
+    move for every key whose replica set changed.  The caller (the cluster's
+    handoff machinery) pushes each such key's state to the ``gained`` nodes;
+    ``lost`` nodes may drop or retain their copy depending on policy.
+    """
+    if replication < 1:
+        raise ConfigurationError(f"replication must be >= 1, got {replication}")
+    moves: List[RebalanceMove] = []
+    for key in sorted(set(keys)):
+        owners_before = before.preference_list(key, replication)
+        owners_after = after.preference_list(key, replication)
+        if owners_before != owners_after:
+            moves.append(RebalanceMove(key, owners_before, owners_after))
+    return moves

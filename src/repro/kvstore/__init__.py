@@ -11,7 +11,7 @@ Two store frontends share the same replica-local machinery
   anti-entropy; used by the latency experiment and the integration tests.
 """
 
-from .anti_entropy import AntiEntropyDaemon, AntiEntropyScheduler
+from .anti_entropy import AntiEntropyDaemon, AntiEntropyScheduler, HintedHandoffDaemon
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
 from .merkle import DiffStats, MerkleAntiEntropy, MerkleTree, diff_keys, key_fingerprint
@@ -23,8 +23,9 @@ from .merge import (
     resolve_and_writeback,
 )
 from .read_repair import ReadRepairStats, RepairPlan, plan_read_repair
-from .server import StorageNode
+from .server import Hint, StorageNode
 from .simulated import (
+    MerkleSyncStats,
     MessageServer,
     RequestRecord,
     SimulatedClient,
@@ -43,8 +44,11 @@ __all__ = [
     "ClientSession",
     "DiffStats",
     "GetResult",
+    "Hint",
+    "HintedHandoffDaemon",
     "LastWriterWins",
     "MerkleAntiEntropy",
+    "MerkleSyncStats",
     "MerkleTree",
     "MessageServer",
     "NodeStorage",

@@ -134,6 +134,38 @@ class MerkleTree:
         """Every key covered by the tree, sorted."""
         return sorted(self._fingerprints)
 
+    def node_at(self, path: Sequence[int]) -> MerkleNode:
+        """The tree node addressed by a branch path (``()`` is the root)."""
+        node = self.root
+        for branch in path:
+            if node.is_leaf or not 0 <= branch < len(node.children):
+                raise ConfigurationError(f"invalid tree path {tuple(path)!r}")
+            node = node.children[branch]
+        return node
+
+    def digest_at(self, path: Sequence[int]) -> bytes:
+        """Digest of the node addressed by ``path``."""
+        return self.node_at(path).digest
+
+    def child_digests(self, path: Sequence[int]) -> List[Tuple[Tuple[int, ...], bytes]]:
+        """``(child_path, digest)`` pairs for the children of ``path``'s node.
+
+        This is one "level" of the hashtree exchange: a replica ships these
+        pairs to its peer, which compares them against its own tree and asks
+        for the children of the ones that differ.
+        """
+        node = self.node_at(path)
+        prefix = tuple(path)
+        return [(prefix + (branch,), child.digest)
+                for branch, child in enumerate(node.children)]
+
+    def bucket_fingerprints(self, path: Sequence[int]) -> Dict[str, bytes]:
+        """``{key: fingerprint}`` of the leaf bucket addressed by ``path``."""
+        node = self.node_at(path)
+        if not node.is_leaf:
+            raise ConfigurationError(f"path {tuple(path)!r} is not a leaf bucket")
+        return {key: self._fingerprints[key] for key in node.keys}
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MerkleTree):
             return NotImplemented

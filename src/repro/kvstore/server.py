@@ -11,12 +11,34 @@ handler.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..clocks.interface import CausalityMechanism, ReadResult, Sibling
 from ..core.exceptions import StaleContextError
 from .context import CausalContext
 from .storage import NodeStorage
+
+#: Merge provenance → stats counter.  Hint replays and Merkle-delta key
+#: transfers are accounted separately from ordinary merges so tests and
+#: reports can tell the convergence paths apart.
+MERGE_COUNTERS = {
+    "merge": "merges",
+    "hint": "hint_replays",
+    "merkle": "merkle_syncs",
+    "handoff": "handoffs",
+}
+
+
+@dataclass
+class Hint:
+    """A write held for an unreachable replica (hinted handoff)."""
+
+    hint_id: int
+    target_id: str
+    key: str
+    state: Any
 
 
 class StorageNode:
@@ -26,12 +48,21 @@ class StorageNode:
         self.node_id = node_id
         self.mechanism = mechanism
         self.storage = NodeStorage(mechanism)
-        #: Operation counters for diagnostics and reports.
+        #: Operation counters for diagnostics and reports.  ``merges`` counts
+        #: ordinary replication/read-repair merges only; hint replays, Merkle
+        #: anti-entropy transfers and rebalancing handoffs have their own
+        #: counters (see :data:`MERGE_COUNTERS`).
         self.stats = {
             "reads": 0,
             "writes": 0,
             "merges": 0,
+            "hint_replays": 0,
+            "merkle_syncs": 0,
+            "handoffs": 0,
+            "hints_stored": 0,
         }
+        self._hints: Dict[str, List[Hint]] = {}
+        self._hint_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     # Replica-local operations
@@ -65,9 +96,15 @@ class StorageNode:
         self.storage.put_state(key, new_state)
         return new_state
 
-    def local_merge(self, key: str, remote_state: Any) -> Any:
-        """Merge a remote replica's state for ``key`` into the local one."""
-        self.stats["merges"] += 1
+    def local_merge(self, key: str, remote_state: Any, reason: str = "merge") -> Any:
+        """Merge a remote replica's state for ``key`` into the local one.
+
+        ``reason`` selects the stats counter: ``"merge"`` (replication, read
+        repair, full-state sync), ``"hint"`` (hinted-handoff replay),
+        ``"merkle"`` (Merkle-delta anti-entropy transfer) or ``"handoff"``
+        (rebalancing after a membership change).
+        """
+        self.stats[MERGE_COUNTERS[reason]] += 1
         merged = self.mechanism.merge(self.storage.get_state(key), remote_state)
         self.storage.put_state(key, merged)
         return merged
@@ -83,6 +120,40 @@ class StorageNode:
     def values_of(self, key: str) -> List[Any]:
         """Just the application values of the live siblings."""
         return [sibling.value for sibling in self.siblings_of(key)]
+
+    # ------------------------------------------------------------------ #
+    # Hinted handoff
+    # ------------------------------------------------------------------ #
+    def store_hint(self, target_id: str, key: str, state: Any) -> Hint:
+        """Hold a write for an unreachable replica until it recovers."""
+        hint = Hint(next(self._hint_ids), target_id, key, state)
+        self._hints.setdefault(target_id, []).append(hint)
+        self.stats["hints_stored"] += 1
+        return hint
+
+    def hints_for(self, target_id: str) -> List[Hint]:
+        """The outstanding hints destined for ``target_id`` (oldest first)."""
+        return list(self._hints.get(target_id, []))
+
+    def hint_targets(self) -> List[str]:
+        """Node ids with at least one outstanding hint, sorted."""
+        return sorted(target for target, hints in self._hints.items() if hints)
+
+    def pending_hints(self) -> int:
+        """Total outstanding hints across all targets."""
+        return sum(len(hints) for hints in self._hints.values())
+
+    def clear_hints(self, target_id: str, hint_ids: Optional[List[int]] = None) -> None:
+        """Drop acknowledged hints (all of a target's when ``hint_ids`` is None)."""
+        if hint_ids is None:
+            self._hints.pop(target_id, None)
+            return
+        remaining = [hint for hint in self._hints.get(target_id, ())
+                     if hint.hint_id not in set(hint_ids)]
+        if remaining:
+            self._hints[target_id] = remaining
+        else:
+            self._hints.pop(target_id, None)
 
     # ------------------------------------------------------------------ #
     # Accounting

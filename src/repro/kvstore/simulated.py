@@ -18,31 +18,98 @@ Topology and protocol
   R/W quorum, performs read repair on divergent read replies, and answers the
   client.
 * A background :class:`~repro.kvstore.anti_entropy.AntiEntropyDaemon`
-  periodically exchanges full key states between replica pairs.
+  periodically synchronises replica pairs, by default with the **Merkle-delta
+  protocol** (below); the original full-state exchange remains available via
+  ``anti_entropy_strategy="full"``.
+
+Merkle-delta anti-entropy
+-------------------------
+A sync round between a source and a target walks the two replicas' hash trees
+level by level instead of shipping every key's state:
+
+1. the source builds a :class:`~repro.kvstore.merkle.MerkleTree` over its key
+   space and sends the root digest (``MERKLE_SYNC_REQUEST``, one digest);
+2. the target builds (and caches, per session) its own tree, compares the
+   received digests against the same tree positions, and answers with the
+   paths that differ (``MERKLE_SYNC_RESPONSE``);
+3. the source descends: it ships the child digests of every differing path,
+   repeating until the leaf-bucket level, where the target's response also
+   carries the per-key fingerprints of the differing buckets;
+4. the source computes the exact divergent key set from the fingerprints and
+   ships only those keys' states, batched ``sync_batch_size`` keys per
+   ``MERKLE_KEY_STATES`` message to amortise per-message latency; the target
+   merges them and replies in kind with its own states for the same keys.
+
+On a mostly-synced store a round therefore costs a handful of digest
+messages; bytes on the wire are proportional to the *divergence*, not the
+store size.  All protocol messages pay the normal transport latency/size
+costs, and every merge is idempotent, so lost or duplicated messages merely
+delay convergence until a later round.
+
+Dynamic membership and hinted handoff
+-------------------------------------
+The cluster is elastic: :meth:`SimulatedCluster.join_node` adds a server at
+runtime (the ring rebalances and existing replicas push the keys the newcomer
+now owns via ``KEY_HANDOFF``), :meth:`SimulatedCluster.decommission_node`
+removes one gracefully (it first pushes each of its keys to the key's
+remaining replica homes), and :meth:`SimulatedCluster.fail_node` /
+:meth:`SimulatedCluster.recover_node` model crashes — optionally with wiped
+storage on recovery.
+
+When a write coordinator cannot reach one of the key's primary replicas
+(crashed, or cut off by a partition), it stores a *hint* — target id plus the
+post-write state — in its local node.  The background
+:class:`~repro.kvstore.anti_entropy.HintedHandoffDaemon` replays hints
+(``HINT_REPLAY`` / ``HINT_ACK``) once the target is reachable again; a
+membership listener also nudges replay immediately on recovery.  Unlike
+Dynamo, hints live on the *coordinator* rather than on sloppy-quorum fallback
+nodes — a simplification that keeps the hint path orthogonal to placement.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clocks.interface import CausalityMechanism, Sibling
 from ..cluster.membership import Membership
 from ..cluster.preference_list import PlacementService, QuorumConfig
-from ..cluster.ring import ConsistentHashRing
+from ..cluster.ring import ConsistentHashRing, rebalance_plan
 from ..core.exceptions import ConfigurationError
 from ..network.latency import LatencyModel, SizeDependentLatency
 from ..network.message import Message, MessageType
 from ..network.partition import PartitionManager
 from ..network.simulator import Simulation
 from ..network.transport import Transport
-from .anti_entropy import AntiEntropyDaemon
+from .anti_entropy import AntiEntropyDaemon, HintedHandoffDaemon
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
+from .merkle import MerkleTree, key_fingerprint
 from .read_repair import ReadRepairStats, plan_read_repair
 from .server import StorageNode
+from .storage import NodeStorage
 from .write_log import WriteLog
+
+#: Wire size of one tree digest in the Merkle exchange (sha256).
+DIGEST_BYTES = 32
+
+ANTI_ENTROPY_STRATEGIES = ("merkle", "full")
+
+#: Message types that carry anti-entropy traffic (either strategy); the single
+#: source of truth for "sync bytes" measurements in reports and benchmarks.
+SYNC_MESSAGE_TYPES = (
+    MessageType.SYNC_REQUEST.value,
+    MessageType.SYNC_REPLY.value,
+    MessageType.MERKLE_SYNC_REQUEST.value,
+    MessageType.MERKLE_SYNC_RESPONSE.value,
+    MessageType.MERKLE_KEY_STATES.value,
+)
+
+
+def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
 
 
 def default_value_size(value: Any) -> int:
@@ -89,6 +156,24 @@ class _PendingCoordination:
     sibling: Optional[Sibling] = None
 
 
+@dataclass
+class MerkleSyncStats:
+    """Cluster-wide counters for the Merkle-delta anti-entropy protocol."""
+
+    exchanges_started: int = 0
+    exchanges_clean: int = 0        # root digests matched, nothing to do
+    levels_sent: int = 0
+    keys_transferred: int = 0
+
+
+@dataclass
+class _MerkleSession:
+    """Source-side state of one in-flight Merkle exchange."""
+
+    peer_id: str
+    tree: MerkleTree
+
+
 class MessageServer:
     """A storage server participating in the message-passing protocol."""
 
@@ -103,6 +188,12 @@ class MessageServer:
         self._pending: Dict[int, _PendingCoordination] = {}
         self._request_ids = itertools.count(1)
         self.read_repair_stats = ReadRepairStats()
+        # Merkle exchange state: sessions this node started (it owns the tree
+        # snapshot and the descent), and per-peer cached trees for exchanges
+        # started by others (so digests stay consistent across levels).
+        self._merkle_sessions: Dict[int, _MerkleSession] = {}
+        self._merkle_session_ids = itertools.count(1)
+        self._merkle_peer_trees: Dict[str, Tuple[int, MerkleTree]] = {}
 
     # ------------------------------------------------------------------ #
     # Message dispatch
@@ -119,6 +210,12 @@ class MessageServer:
             MessageType.READ_REPAIR: self._on_read_repair,
             MessageType.SYNC_REQUEST: self._on_sync_request,
             MessageType.SYNC_REPLY: self._on_sync_reply,
+            MessageType.MERKLE_SYNC_REQUEST: self._on_merkle_sync_request,
+            MessageType.MERKLE_SYNC_RESPONSE: self._on_merkle_sync_response,
+            MessageType.MERKLE_KEY_STATES: self._on_merkle_key_states,
+            MessageType.HINT_REPLAY: self._on_hint_replay,
+            MessageType.HINT_ACK: self._on_hint_ack,
+            MessageType.KEY_HANDOFF: self._on_key_handoff,
             MessageType.PING: self._on_ping,
         }
         handler = handlers.get(message.msg_type)
@@ -271,6 +368,15 @@ class MessageServer:
                 size_bytes=self._state_size(key, new_state),
                 request_id=request_id,
             ))
+        # Hinted handoff: primaries this coordinator cannot reach right now
+        # (crashed, or cut off by a partition) get the write held as a hint,
+        # replayed by the handoff daemon once they are reachable again.
+        if self.cluster.hinted_handoff_enabled:
+            for primary_id in self.cluster.placement.primary_replicas(key):
+                if primary_id == self.node_id:
+                    continue
+                if not self.cluster.can_reach(self.node_id, primary_id):
+                    self.node.store_hint(primary_id, key, new_state)
         self._maybe_finish_put(request_id)
 
     def _on_replica_put(self, message: Message) -> None:
@@ -346,6 +452,214 @@ class MessageServer:
         for key, state in message.payload["states"].items():
             self.node.local_merge(key, state)
 
+    # ------------------------------------------------------------------ #
+    # Merkle-delta anti-entropy (hashtree exchange)
+    # ------------------------------------------------------------------ #
+    def start_merkle_sync_with(self, peer_id: str) -> None:
+        """Begin a Merkle-delta exchange with ``peer_id`` (level-by-level)."""
+        tree = MerkleTree.for_node(self.node,
+                                   fanout=self.cluster.merkle_fanout,
+                                   depth=self.cluster.merkle_depth)
+        # A lost message leaves a session dangling; starting a new exchange
+        # with the same peer supersedes any older one.
+        self._merkle_sessions = {
+            session_id: session
+            for session_id, session in self._merkle_sessions.items()
+            if session.peer_id != peer_id
+        }
+        session_id = next(self._merkle_session_ids)
+        self._merkle_sessions[session_id] = _MerkleSession(peer_id, tree)
+        self.cluster.merkle_stats.exchanges_started += 1
+        self._send_merkle_level(session_id, peer_id, 0, [((), tree.root_digest)])
+
+    def _send_merkle_level(self,
+                           session_id: int,
+                           peer_id: str,
+                           level: int,
+                           entries: List[Tuple[Tuple[int, ...], bytes]]) -> None:
+        self.cluster.merkle_stats.levels_sent += 1
+        size = (len(entries) * (DIGEST_BYTES + max(level, 1))
+                + self.cluster.request_overhead_bytes)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=peer_id,
+            msg_type=MessageType.MERKLE_SYNC_REQUEST,
+            payload={"session": session_id, "level": level, "entries": entries},
+            size_bytes=size,
+        ))
+
+    def _on_merkle_sync_request(self, message: Message) -> None:
+        """Target side: compare received digests against the local tree."""
+        session_id = message.payload["session"]
+        level = message.payload["level"]
+        entries = message.payload["entries"]
+
+        cached = self._merkle_peer_trees.get(message.sender)
+        if cached is None or cached[0] != session_id:
+            # First message of this session (or the level-0 message was lost
+            # and a deeper one arrived) — snapshot a fresh tree for it.
+            tree = MerkleTree.for_node(self.node,
+                                       fanout=self.cluster.merkle_fanout,
+                                       depth=self.cluster.merkle_depth)
+            self._merkle_peer_trees[message.sender] = (session_id, tree)
+        else:
+            tree = cached[1]
+
+        differing = [tuple(path) for path, digest in entries
+                     if tree.digest_at(path) != digest]
+        at_leaves = level >= tree.depth
+        buckets: Optional[Dict[Tuple[int, ...], Dict[str, bytes]]] = None
+        size = len(differing) * (level + 1) + self.cluster.request_overhead_bytes
+        if at_leaves and differing:
+            buckets = {path: tree.bucket_fingerprints(path) for path in differing}
+            size += sum(len(key.encode("utf-8")) + DIGEST_BYTES
+                        for bucket in buckets.values() for key in bucket)
+        if at_leaves or not differing:
+            # The exchange either finishes here or moves on to key states,
+            # neither of which needs the cached tree snapshot any more.
+            self._merkle_peer_trees.pop(message.sender, None)
+
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.MERKLE_SYNC_RESPONSE,
+            payload={"session": session_id, "level": level,
+                     "differing": differing, "buckets": buckets},
+            size_bytes=size,
+        ))
+
+    def _on_merkle_sync_response(self, message: Message) -> None:
+        """Source side: descend into differing paths or ship divergent keys."""
+        session_id = message.payload["session"]
+        session = self._merkle_sessions.get(session_id)
+        if session is None or session.peer_id != message.sender:
+            return  # stale session (lost messages, duplicate delivery)
+        differing = message.payload["differing"]
+        level = message.payload["level"]
+
+        if not differing:
+            self._merkle_sessions.pop(session_id, None)
+            if level == 0:
+                self.cluster.merkle_stats.exchanges_clean += 1
+            return
+
+        buckets = message.payload.get("buckets")
+        if buckets is None:
+            # Descend one level: ship child digests of every differing path.
+            entries: List[Tuple[Tuple[int, ...], bytes]] = []
+            for path in differing:
+                entries.extend(session.tree.child_digests(path))
+            self._send_merkle_level(session_id, session.peer_id, level + 1, entries)
+            return
+
+        # Leaf level: fingerprints localise the exact divergent keys.
+        divergent: List[str] = []
+        for path, peer_fingerprints in buckets.items():
+            own_fingerprints = session.tree.bucket_fingerprints(tuple(path))
+            for key in sorted(set(own_fingerprints) | set(peer_fingerprints)):
+                if own_fingerprints.get(key) != peer_fingerprints.get(key):
+                    divergent.append(key)
+        self._merkle_sessions.pop(session_id, None)
+        self._send_merkle_key_states(session.peer_id, sorted(set(divergent)))
+
+    def _send_merkle_key_states(self, peer_id: str, keys: Sequence[str],
+                                want_reply: bool = True) -> None:
+        """Ship states for the divergent keys, batched to amortise latency."""
+        for chunk in _chunked(list(keys), self.cluster.sync_batch_size):
+            states = {key: self.node.state_of(key) for key in chunk
+                      if self.node.storage.has_key(key)}
+            want = list(chunk) if want_reply else []
+            size = (sum(self._payload_state_size(key, state)
+                        for key, state in states.items())
+                    + sum(len(key.encode("utf-8")) for key in want)
+                    + self.cluster.request_overhead_bytes)
+            self.cluster.merkle_stats.keys_transferred += len(states)
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=peer_id,
+                msg_type=MessageType.MERKLE_KEY_STATES,
+                payload={"states": states, "want": want},
+                size_bytes=size,
+            ))
+
+    def _on_merkle_key_states(self, message: Message) -> None:
+        for key, state in message.payload["states"].items():
+            self.node.local_merge(key, state, reason="merkle")
+        want = message.payload.get("want") or []
+        if want:
+            # Reply with the (now merged) local states so both sides converge
+            # in a single exchange.
+            self._send_merkle_key_states(message.sender, want, want_reply=False)
+
+    # ------------------------------------------------------------------ #
+    # Hinted handoff
+    # ------------------------------------------------------------------ #
+    def replay_hints(self) -> int:
+        """Send HINT_REPLAY batches for every reachable hint target.
+
+        Returns the number of batches sent.  Hints are only cleared when the
+        target acknowledges, so lost replays are retried on a later tick;
+        merges are idempotent, so re-sent hints are harmless.
+        """
+        batches = 0
+        for target_id in self.node.hint_targets():
+            if not self.cluster.can_reach(self.node_id, target_id):
+                continue
+            hints = self.node.hints_for(target_id)
+            for chunk in _chunked(hints, self.cluster.sync_batch_size):
+                payload_hints = [(hint.hint_id, hint.key, hint.state) for hint in chunk]
+                size = (sum(self._payload_state_size(hint.key, hint.state)
+                            for hint in chunk)
+                        + self.cluster.request_overhead_bytes)
+                self.cluster.transport.send(Message(
+                    sender=self.node_id,
+                    receiver=target_id,
+                    msg_type=MessageType.HINT_REPLAY,
+                    payload={"hints": payload_hints},
+                    size_bytes=size,
+                ))
+                batches += 1
+        return batches
+
+    def _on_hint_replay(self, message: Message) -> None:
+        hint_ids = []
+        for hint_id, key, state in message.payload["hints"]:
+            self.node.local_merge(key, state, reason="hint")
+            hint_ids.append(hint_id)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.HINT_ACK,
+            payload={"hint_ids": hint_ids},
+            size_bytes=self.cluster.request_overhead_bytes,
+        ))
+
+    def _on_hint_ack(self, message: Message) -> None:
+        self.node.clear_hints(message.sender, message.payload["hint_ids"])
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing handoff (join / decommission)
+    # ------------------------------------------------------------------ #
+    def send_key_handoff(self, target_id: str, keys: Sequence[str]) -> None:
+        """Push the states of ``keys`` to a node that became a replica home."""
+        held = [key for key in keys if self.node.storage.has_key(key)]
+        for chunk in _chunked(held, self.cluster.sync_batch_size):
+            states = {key: self.node.state_of(key) for key in chunk}
+            size = (sum(self._payload_state_size(key, state)
+                        for key, state in states.items())
+                    + self.cluster.request_overhead_bytes)
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=target_id,
+                msg_type=MessageType.KEY_HANDOFF,
+                payload={"states": states},
+                size_bytes=size,
+            ))
+
+    def _on_key_handoff(self, message: Message) -> None:
+        for key, state in message.payload["states"].items():
+            self.node.local_merge(key, state, reason="handoff")
+
     def _on_ping(self, message: Message) -> None:
         self.cluster.transport.send(message.reply(MessageType.PONG))
 
@@ -353,7 +667,7 @@ class MessageServer:
     # Helpers
     # ------------------------------------------------------------------ #
     def start_sync_with(self, peer_id: str) -> None:
-        """Begin an anti-entropy exchange with ``peer_id`` (push-pull)."""
+        """Begin a full-state anti-entropy exchange with ``peer_id`` (push-pull)."""
         states = {key: self.node.state_of(key) for key in self.node.storage.keys()}
         self.cluster.transport.send(Message(
             sender=self.node_id,
@@ -364,9 +678,12 @@ class MessageServer:
         ))
 
     def _state_size(self, key: str, state: Any) -> int:
+        return self._payload_state_size(key, state) + self.cluster.request_overhead_bytes
+
+    def _payload_state_size(self, key: str, state: Any) -> int:
         metadata = self.mechanism.metadata_bytes(state)
         values = sum(default_value_size(s.value) for s in self.mechanism.siblings(state))
-        return metadata + values + self.cluster.request_overhead_bytes
+        return metadata + values
 
 
 class SimulatedClient:
@@ -546,6 +863,16 @@ class SimulatedCluster:
         Transport unreliability knobs.
     anti_entropy_interval_ms:
         Period of the background replica synchronisation (None disables it).
+    anti_entropy_strategy:
+        ``"merkle"`` (default) for the Merkle-delta exchange, ``"full"`` for
+        the original all-keys state exchange.
+    hint_replay_interval_ms:
+        Period of the hinted-handoff replay daemon (None disables hinted
+        handoff entirely — no hints are stored).
+    sync_batch_size:
+        Keys per MERKLE_KEY_STATES / HINT_REPLAY / KEY_HANDOFF message.
+    merkle_fanout / merkle_depth:
+        Shape of the hash trees used by the Merkle-delta exchange.
     """
 
     def __init__(self,
@@ -557,10 +884,22 @@ class SimulatedCluster:
                  loss_probability: float = 0.0,
                  duplicate_probability: float = 0.0,
                  anti_entropy_interval_ms: Optional[float] = 100.0,
+                 anti_entropy_strategy: str = "merkle",
+                 hint_replay_interval_ms: Optional[float] = 50.0,
+                 sync_batch_size: int = 16,
+                 merkle_fanout: int = 16,
+                 merkle_depth: int = 2,
                  virtual_nodes: int = 32,
                  request_overhead_bytes: int = 64) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
+        if anti_entropy_strategy not in ANTI_ENTROPY_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown anti-entropy strategy {anti_entropy_strategy!r}; "
+                f"choose from {ANTI_ENTROPY_STRATEGIES}"
+            )
+        if sync_batch_size < 1:
+            raise ConfigurationError(f"sync_batch_size must be >= 1, got {sync_batch_size}")
         self.mechanism = mechanism
         self.quorum = quorum or QuorumConfig(n=min(3, len(server_ids)),
                                              r=min(2, len(server_ids)),
@@ -579,6 +918,13 @@ class SimulatedCluster:
         self.placement = PlacementService(self.ring, self.membership, self.quorum)
         self.write_log = WriteLog()
         self.request_overhead_bytes = request_overhead_bytes
+        self.anti_entropy_strategy = anti_entropy_strategy
+        self.sync_batch_size = sync_batch_size
+        self.merkle_fanout = merkle_fanout
+        self.merkle_depth = merkle_depth
+        self.merkle_stats = MerkleSyncStats()
+        self._anti_entropy_interval_ms = anti_entropy_interval_ms
+        self._departed_stats: Dict[str, int] = {}
 
         self.servers: Dict[str, MessageServer] = {}
         for server_id in server_ids:
@@ -594,7 +940,24 @@ class SimulatedCluster:
                 self._trigger_sync,
                 list(server_ids),
                 interval_ms=anti_entropy_interval_ms,
+                eligible=self.membership.is_up,
             )
+        self.hinted_handoff: Optional[HintedHandoffDaemon] = None
+        if hint_replay_interval_ms is not None:
+            self.hinted_handoff = HintedHandoffDaemon(
+                self.simulation,
+                sources=self._hint_sources,
+                trigger_replay=self._trigger_hint_replay,
+                interval_ms=hint_replay_interval_ms,
+            )
+        # Nudge hint replay as soon as a node recovers rather than waiting
+        # for the next daemon tick.
+        self.membership.subscribe(self._on_membership_event)
+
+    @property
+    def hinted_handoff_enabled(self) -> bool:
+        """Whether coordinators store hints for unreachable primaries."""
+        return self.hinted_handoff is not None
 
     # ------------------------------------------------------------------ #
     # Topology management
@@ -609,18 +972,173 @@ class SimulatedCluster:
         return client
 
     def _trigger_sync(self, source_id: str, target_id: str) -> None:
-        self.servers[source_id].start_sync_with(target_id)
+        self.start_exchange(source_id, target_id)
+
+    def start_exchange(self, source_id: str, target_id: str,
+                       strategy: Optional[str] = None) -> None:
+        """Start one anti-entropy exchange using the configured strategy."""
+        source = self.servers.get(source_id)
+        if source is None:
+            return
+        if (strategy or self.anti_entropy_strategy) == "full":
+            source.start_sync_with(target_id)
+        else:
+            source.start_merkle_sync_with(target_id)
+
+    def _hint_sources(self) -> List[str]:
+        return [server_id for server_id, server in sorted(self.servers.items())
+                if server.node.pending_hints() > 0
+                and self.membership.is_up(server_id)]
+
+    def _trigger_hint_replay(self, server_id: str) -> int:
+        server = self.servers.get(server_id)
+        return server.replay_hints() if server is not None else 0
+
+    def _on_membership_event(self, node_id: str, event: str) -> None:
+        if event != "up" or self.hinted_handoff is None:
+            return
+        holders = [server_id for server_id, server in sorted(self.servers.items())
+                   if node_id in server.node.hint_targets()]
+        if holders:
+            self.simulation.schedule(
+                0.1,
+                lambda: [self._trigger_hint_replay(server_id) for server_id in holders],
+                label=f"hint-replay-nudge:{node_id}",
+            )
 
     def fail_node(self, server_id: str) -> None:
         """Crash a server: it stops receiving messages and is marked down."""
         self.membership.mark_down(server_id)
         self.transport.unregister(server_id)
 
-    def recover_node(self, server_id: str) -> None:
-        """Bring a crashed server back (its pre-crash state is retained)."""
-        self.membership.mark_up(server_id)
+    def recover_node(self, server_id: str, wipe: bool = False) -> None:
+        """Bring a crashed server back.
+
+        With ``wipe=False`` the pre-crash state is retained (process restart);
+        with ``wipe=True`` the node rejoins with empty storage (disk loss) and
+        must be repopulated by hint replay and anti-entropy.
+        """
+        server = self.servers[server_id]
+        if wipe:
+            server.node.storage = NodeStorage(self.mechanism)
         if not self.transport.is_registered(server_id):
-            self.transport.register(server_id, self.servers[server_id].handle_message)
+            self.transport.register(server_id, server.handle_message)
+        self.membership.mark_up(server_id)
+
+    def join_node(self, server_id: str) -> int:
+        """Add a new (empty) server to the running cluster.
+
+        The ring is rebalanced and, for every key whose preference list now
+        includes the newcomer, one current holder pushes the key's state via
+        KEY_HANDOFF.  Returns the number of keys scheduled for handoff.
+        """
+        if server_id in self.servers:
+            raise ConfigurationError(f"server {server_id!r} already in the cluster")
+        ring_before = ConsistentHashRing(self.ring.nodes(),
+                                         virtual_nodes=self.ring.virtual_nodes)
+        self.ring.add_node(server_id)
+        self.membership.add(server_id)
+        server = MessageServer(server_id, self.mechanism, self)
+        self.servers[server_id] = server
+        self.transport.register(server_id, server.handle_message)
+        if self.anti_entropy is not None:
+            self.anti_entropy.add_node(server_id)
+        elif self._anti_entropy_interval_ms is not None and len(self.servers) > 1:
+            self.anti_entropy = AntiEntropyDaemon(
+                self.simulation,
+                self._trigger_sync,
+                list(self.servers),
+                interval_ms=self._anti_entropy_interval_ms,
+                eligible=self.membership.is_up,
+            )
+
+        moves = rebalance_plan(ring_before, self.ring,
+                               self.key_universe(), self.quorum.n)
+        batches: Dict[Tuple[str, str], List[str]] = {}
+        for move in moves:
+            gained = [node for node in move.gained if node in self.servers]
+            if not gained:
+                continue
+            # Only a live node can act as the handoff source — a crashed
+            # replica's storage is unreachable until it recovers.
+            holders = [node for node in move.owners_before
+                       if node in self.servers and self.membership.is_up(node)
+                       and self.servers[node].node.storage.has_key(move.key)]
+            if not holders:  # key held off its preference list (e.g. post-churn)
+                holders = [node for node, srv in sorted(self.servers.items())
+                           if self.membership.is_up(node)
+                           and srv.node.storage.has_key(move.key)]
+            if not holders:
+                continue
+            for target in gained:
+                batches.setdefault((holders[0], target), []).append(move.key)
+        handed_off = 0
+        for (source_id, target_id), keys in sorted(batches.items()):
+            self.servers[source_id].send_key_handoff(target_id, keys)
+            handed_off += len(keys)
+        return handed_off
+
+    def decommission_node(self, server_id: str) -> int:
+        """Gracefully remove a server from the running cluster.
+
+        Before leaving, the node pushes each of its keys to the key's replica
+        homes on the shrunk ring, so no singly-replicated state is lost.
+        Returns the number of key states pushed.
+        """
+        if server_id not in self.servers:
+            raise ConfigurationError(f"unknown server {server_id!r}")
+        server = self.servers[server_id]
+        self.ring.remove_node(server_id)
+
+        # A graceful leave pushes the node's keys to their remaining replica
+        # homes — but only a live node can do that; removing a crashed node
+        # just drops it (its data is whatever already replicated elsewhere).
+        handed_off = 0
+        if self.membership.is_up(server_id):
+            batches: Dict[str, List[str]] = {}
+            for key in server.node.storage.keys():
+                reachable = [target
+                             for target in self.ring.preference_list(key, self.quorum.n)
+                             if target != server_id and target in self.servers
+                             and self.can_reach(server_id, target)]
+                if not reachable:
+                    # Handing off into a partition would silently drop the
+                    # key's (possibly only) copy; refuse the graceful leave.
+                    self.ring.add_node(server_id)
+                    raise ConfigurationError(
+                        f"cannot decommission {server_id!r}: no reachable "
+                        f"replica home for key {key!r}"
+                    )
+                for target in reachable:
+                    batches.setdefault(target, []).append(key)
+            for target_id, keys in sorted(batches.items()):
+                server.send_key_handoff(target_id, keys)
+                handed_off += len(keys)
+
+        self.membership.remove(server_id)
+        if self.anti_entropy is not None:
+            self.anti_entropy.remove_node(server_id)
+        self.servers.pop(server_id)
+        self.transport.unregister(server_id)
+        # Stats of the departed node still belong to the run's totals.
+        for name, value in server.node.stats.items():
+            self._departed_stats[name] = self._departed_stats.get(name, 0) + value
+        # Hints destined for the removed node can never be replayed; purge
+        # them everywhere so they don't sit in the pending counts forever.
+        for remaining in self.servers.values():
+            remaining.node.clear_hints(server_id)
+        return handed_off
+
+    def can_reach(self, source_id: str, target_id: str) -> bool:
+        """Whether ``source_id`` can currently deliver messages to ``target_id``.
+
+        This is the coordinator's failure-detector view: a node is unreachable
+        when it is marked down, deregistered from the transport, or cut off by
+        a partition.
+        """
+        return (self.membership.is_up(target_id)
+                and self.transport.is_registered(target_id)
+                and self.partitions.can_communicate(source_id, target_id))
 
     # ------------------------------------------------------------------ #
     # Execution helpers
@@ -633,7 +1151,58 @@ class SimulatedCluster:
         """Stop background daemons and run every outstanding event."""
         if self.anti_entropy is not None:
             self.anti_entropy.stop()
+        if self.hinted_handoff is not None:
+            self.hinted_handoff.stop()
         self.simulation.run_until_idle(max_events=max_events)
+
+    def run_anti_entropy_round(self, strategy: Optional[str] = None,
+                               settle: bool = True) -> None:
+        """Start one exchange for every reachable server pair, then settle.
+
+        Used by tests and scenarios to force convergence deterministically
+        after the background daemons have been stopped.
+        """
+        server_ids = sorted(self.servers)
+        for i, source_id in enumerate(server_ids):
+            for target_id in server_ids[i + 1:]:
+                if (self.membership.is_up(source_id)
+                        and self.can_reach(source_id, target_id)):
+                    self.start_exchange(source_id, target_id, strategy)
+        if settle:
+            self.simulation.run_until_idle()
+
+    def key_universe(self) -> List[str]:
+        """Every key held by any live server, sorted."""
+        keys = set()
+        for server in self.servers.values():
+            keys.update(server.node.storage.keys())
+        return sorted(keys)
+
+    def is_converged(self) -> bool:
+        """True iff every server stores an identical sibling set for every key."""
+        for key in self.key_universe():
+            fingerprints = {key_fingerprint(server.node, key)
+                            for server in self.servers.values()}
+            if len(fingerprints) > 1:
+                return False
+        return True
+
+    def converge(self, max_rounds: int = 30, strategy: Optional[str] = None) -> int:
+        """Run anti-entropy rounds until every replica agrees; returns rounds.
+
+        Stops the background daemons first (they are periodic tasks and would
+        keep the event queue from ever going idle), then drives explicit
+        all-pairs rounds — the deterministic "settle everything" helper tests
+        and scenarios use after a workload finishes.
+        """
+        self.drain()
+        if self.is_converged():
+            return 0
+        for round_number in range(1, max_rounds + 1):
+            self.run_anti_entropy_round(strategy)
+            if self.is_converged():
+                return round_number
+        raise ConfigurationError(f"cluster did not converge within {max_rounds} rounds")
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -654,12 +1223,30 @@ class SimulatedCluster:
         """Total causality-metadata bytes stored across the cluster."""
         return sum(server.node.metadata_bytes() for server in self.servers.values())
 
+    def sync_bytes(self) -> int:
+        """Total bytes sent so far on anti-entropy messages (either strategy)."""
+        return self.transport.stats.bytes_for(*SYNC_MESSAGE_TYPES)
+
     def sibling_counts(self, key: str) -> Dict[str, int]:
         """Live sibling counts of ``key`` on every server."""
         return {
             server_id: len(server.node.siblings_of(key))
             for server_id, server in self.servers.items()
         }
+
+    def stat_totals(self) -> Dict[str, int]:
+        """Per-node operation counters summed across the cluster.
+
+        Includes the counters of gracefully decommissioned nodes, so churn
+        reports account for work done before a departure.
+        """
+        totals: Dict[str, int] = dict(self._departed_stats)
+        for server in self.servers.values():
+            for name, value in server.node.stats.items():
+                totals[name] = totals.get(name, 0) + value
+        totals["pending_hints"] = sum(server.node.pending_hints()
+                                      for server in self.servers.values())
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

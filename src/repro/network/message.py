@@ -37,6 +37,18 @@ class MessageType(enum.Enum):
     SYNC_REQUEST = "sync_request"
     SYNC_REPLY = "sync_reply"
 
+    # Merkle-delta anti-entropy (level-by-level hashtree exchange)
+    MERKLE_SYNC_REQUEST = "merkle_sync_request"
+    MERKLE_SYNC_RESPONSE = "merkle_sync_response"
+    MERKLE_KEY_STATES = "merkle_key_states"
+
+    # Hinted handoff (coordinator-held writes for unreachable replicas)
+    HINT_REPLAY = "hint_replay"
+    HINT_ACK = "hint_ack"
+
+    # Membership changes (join / decommission rebalancing)
+    KEY_HANDOFF = "key_handoff"
+
     # Control plane
     PING = "ping"
     PONG = "pong"

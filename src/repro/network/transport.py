@@ -36,9 +36,15 @@ class TransportStats:
     duplicated: int = 0
     bytes_sent: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
+    bytes_per_type: Dict[str, int] = field(default_factory=dict)
 
-    def record_type(self, msg_type: str) -> None:
+    def record_type(self, msg_type: str, size_bytes: int = 0) -> None:
         self.per_type[msg_type] = self.per_type.get(msg_type, 0) + 1
+        self.bytes_per_type[msg_type] = self.bytes_per_type.get(msg_type, 0) + size_bytes
+
+    def bytes_for(self, *msg_types: str) -> int:
+        """Total bytes sent across the given message types."""
+        return sum(self.bytes_per_type.get(msg_type, 0) for msg_type in msg_types)
 
 
 class Transport:
@@ -110,7 +116,7 @@ class Transport:
         """Send ``message``; delivery (if any) happens via the simulation."""
         self.stats.sent += 1
         self.stats.bytes_sent += message.size_bytes
-        self.stats.record_type(message.msg_type.value)
+        self.stats.record_type(message.msg_type.value, message.size_bytes)
         if self.trace_enabled:
             self._trace.append(message)
 

@@ -3,6 +3,8 @@
 from .clients import ClosedLoopClient, ClosedLoopConfig, run_closed_loop_workload
 from .generator import WorkloadConfig, WorkloadGenerator, generate_workload
 from .scenarios import (
+    CHURN_SCENARIOS,
+    ChurnReport,
     Figure1Result,
     Figure1Step,
     concurrent_writers_trace,
@@ -11,13 +13,18 @@ from .scenarios import (
     named_scenarios,
     read_modify_write_chain_trace,
     replay_scenario,
+    run_churn_scenario,
+    run_elasticity_scenario,
     run_figure1,
     run_figure1_by_name,
+    run_flappy_replica_scenario,
     session_reset_trace,
 )
 from .traces import Operation, OpType, ReplayResult, Trace, replay_trace
 
 __all__ = [
+    "CHURN_SCENARIOS",
+    "ChurnReport",
     "ClosedLoopClient",
     "ClosedLoopConfig",
     "Figure1Result",
@@ -36,8 +43,11 @@ __all__ = [
     "read_modify_write_chain_trace",
     "replay_scenario",
     "replay_trace",
+    "run_churn_scenario",
     "run_closed_loop_workload",
+    "run_elasticity_scenario",
     "run_figure1",
     "run_figure1_by_name",
+    "run_flappy_replica_scenario",
     "session_reset_trace",
 ]

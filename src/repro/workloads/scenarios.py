@@ -252,6 +252,177 @@ def interleaved_two_server_trace(pairs: int = 4) -> Trace:
     return trace
 
 
+# --------------------------------------------------------------------------- #
+# Churn scenarios (simulated message-passing cluster)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ChurnReport:
+    """Outcome of a churn scenario on the simulated cluster.
+
+    Captures everything the elasticity/flappy tests and the CLI ``churn``
+    subcommand report: whether the surviving replicas converged, which nodes
+    joined/left, how much state moved via handoff, and the cluster-wide
+    operation counters (including the hint-replay and merkle-sync counters
+    kept separately from ordinary merges).
+    """
+
+    scenario: str
+    mechanism: str
+    converged: bool = False
+    convergence_rounds: int = 0
+    final_servers: List[str] = field(default_factory=list)
+    joined: List[str] = field(default_factory=list)
+    departed: List[str] = field(default_factory=list)
+    handoff_keys: int = 0
+    requests_completed: int = 0
+    final_values: Dict[str, List[str]] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+    sync_bytes: int = 0
+    #: The cluster the scenario ran on (for test inspection; not reported).
+    cluster: object = field(default=None, repr=False, compare=False)
+
+
+def _finish_churn_run(cluster, report: "ChurnReport", max_rounds: int = 40) -> "ChurnReport":
+    """Drive a drained cluster to convergence and fill in the report."""
+    from ..core.exceptions import ConfigurationError
+
+    try:
+        report.convergence_rounds = cluster.converge(max_rounds=max_rounds)
+    except ConfigurationError:
+        report.convergence_rounds = max_rounds
+    report.converged = cluster.is_converged()
+    report.final_servers = sorted(cluster.servers)
+    report.requests_completed = len(cluster.all_request_records())
+    for key in cluster.key_universe():
+        any_server = next(iter(cluster.servers.values()))
+        report.final_values[key] = sorted(map(repr, any_server.node.values_of(key)))
+    report.stats = cluster.stat_totals()
+    report.sync_bytes = cluster.sync_bytes()
+    return report
+
+
+def run_elasticity_scenario(mechanism: CausalityMechanism,
+                            seed: int = 7,
+                            duration_ms: float = 400.0,
+                            keys: int = 6,
+                            clients: int = 4,
+                            anti_entropy_strategy: str = "merkle") -> ChurnReport:
+    """Elastic cluster under load: two nodes join and one leaves mid-run.
+
+    Starts a 3-node cluster with a closed-loop workload, joins ``n4`` and
+    ``n5`` while writes are flowing (ring rebalancing pushes the keys they now
+    own), then gracefully decommissions ``n1`` (which first hands its keys
+    off).  After the workload drains, anti-entropy rounds must converge the
+    surviving replicas to identical sibling sets.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import FixedLatency
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=("n1", "n2", "n3"),
+        quorum=QuorumConfig(n=3, r=2, w=2),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=25.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=40.0,
+        seed=seed,
+    )
+    report = ChurnReport(scenario="elasticity", mechanism=mechanism.name)
+
+    def do_join(node_id: str) -> None:
+        report.handoff_keys += cluster.join_node(node_id)
+        report.joined.append(node_id)
+
+    def do_leave(node_id: str) -> None:
+        report.handoff_keys += cluster.decommission_node(node_id)
+        report.departed.append(node_id)
+
+    cluster.simulation.schedule(duration_ms * 0.30, lambda: do_join("n4"), label="join:n4")
+    cluster.simulation.schedule(duration_ms * 0.50, lambda: do_join("n5"), label="join:n5")
+    cluster.simulation.schedule(duration_ms * 0.70, lambda: do_leave("n1"), label="leave:n1")
+
+    config = ClosedLoopConfig(
+        keys=tuple(f"key-{index}" for index in range(keys)),
+        think_time_ms=4.0,
+        write_fraction=0.6,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config)
+    report.cluster = cluster
+    return _finish_churn_run(cluster, report)
+
+
+def run_flappy_replica_scenario(mechanism: CausalityMechanism,
+                                seed: int = 11,
+                                duration_ms: float = 420.0,
+                                keys: int = 4,
+                                clients: int = 4,
+                                flaps: int = 3,
+                                wipe_on_recover: bool = False,
+                                anti_entropy_strategy: str = "merkle") -> ChurnReport:
+    """A replica repeatedly crashes and recovers while writes keep flowing.
+
+    Every crash makes coordinators store hints for the victim; every recovery
+    triggers hint replay (plus the periodic handoff daemon).  With
+    ``wipe_on_recover`` the victim loses its storage on each recovery, so it
+    must be repopulated entirely by hint replay and anti-entropy.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import FixedLatency
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=("n1", "n2", "n3"),
+        quorum=QuorumConfig(n=3, r=2, w=2),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=30.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=25.0,
+        seed=seed,
+    )
+    report = ChurnReport(scenario="flappy_replica", mechanism=mechanism.name)
+    victim = "n3"
+    period = duration_ms / (flaps + 1)
+    for flap in range(flaps):
+        down_at = period * (flap + 1)
+        up_at = down_at + period * 0.5
+        cluster.simulation.schedule(down_at, lambda: cluster.fail_node(victim),
+                                    label=f"flap-down:{victim}")
+        cluster.simulation.schedule(
+            up_at,
+            lambda: cluster.recover_node(victim, wipe=wipe_on_recover),
+            label=f"flap-up:{victim}",
+        )
+
+    config = ClosedLoopConfig(
+        keys=tuple(f"key-{index}" for index in range(keys)),
+        think_time_ms=4.0,
+        write_fraction=0.7,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config)
+    report.cluster = cluster
+    return _finish_churn_run(cluster, report)
+
+
+CHURN_SCENARIOS = {
+    "elasticity": run_elasticity_scenario,
+    "flappy_replica": run_flappy_replica_scenario,
+}
+
+
+def run_churn_scenario(name: str, mechanism: CausalityMechanism, **kwargs) -> ChurnReport:
+    """Run one named churn scenario on the simulated cluster."""
+    if name not in CHURN_SCENARIOS:
+        raise KeyError(f"unknown churn scenario {name!r}; known: {sorted(CHURN_SCENARIOS)}")
+    return CHURN_SCENARIOS[name](mechanism, **kwargs)
+
+
 SCENARIOS: Dict[str, Trace] = {}
 
 

@@ -47,6 +47,29 @@ class TestMembership:
         assert "A" not in membership
         assert len(membership) == 1
 
+    def test_version_bumps_on_every_mutation(self):
+        membership = Membership(["A", "B"])
+        version = membership.version
+        membership.mark_down("A")
+        assert membership.version == version + 1
+        membership.mark_down("A")            # no-op: already down
+        assert membership.version == version + 1
+        membership.mark_up("A")
+        membership.add("C")
+        membership.remove("C")
+        assert membership.version == version + 4
+
+    def test_listeners_observe_churn(self):
+        events = []
+        membership = Membership(["A"])
+        membership.subscribe(lambda node_id, event: events.append((node_id, event)))
+        membership.add("B")
+        membership.mark_down("B")
+        membership.mark_up("B")
+        membership.remove("B")
+        membership.remove("B")               # no-op: already gone
+        assert events == [("B", "added"), ("B", "down"), ("B", "up"), ("B", "removed")]
+
 
 class TestQuorumConfig:
     def test_defaults(self):

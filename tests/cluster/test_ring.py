@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import ConsistentHashRing
+from repro.cluster import ConsistentHashRing, rebalance_plan
 from repro.core import ConfigurationError
 
 
@@ -83,3 +83,41 @@ class TestPlacement:
         assert set(histogram) == {"A", "B", "C", "D"}
         for count in histogram.values():
             assert 0.5 * 500 < count < 1.6 * 500
+
+
+class TestRebalancePlan:
+    def test_join_moves_only_keys_the_newcomer_owns(self):
+        keys = [f"key-{i}" for i in range(100)]
+        before = ConsistentHashRing(["A", "B", "C"], virtual_nodes=32)
+        after = ConsistentHashRing(["A", "B", "C", "D"], virtual_nodes=32)
+        moves = rebalance_plan(before, after, keys, replication=2)
+        assert moves, "adding a node should move some keys"
+        for move in moves:
+            assert move.gained == ["D"] or "D" in move.owners_after
+            # nothing is gained by nodes that were already owners
+            assert not set(move.gained) & set(move.owners_before)
+        # keys whose replica set is unchanged are not in the plan
+        planned = {move.key for move in moves}
+        for key in keys:
+            if key not in planned:
+                assert before.preference_list(key, 2) == after.preference_list(key, 2)
+
+    def test_leave_reassigns_the_departed_nodes_keys(self):
+        keys = [f"key-{i}" for i in range(100)]
+        before = ConsistentHashRing(["A", "B", "C"], virtual_nodes=32)
+        after = ConsistentHashRing(["A", "B"], virtual_nodes=32)
+        moves = rebalance_plan(before, after, keys, replication=2)
+        for move in moves:
+            assert "C" in move.lost
+            assert "C" not in move.owners_after
+
+    def test_identical_rings_need_no_moves(self):
+        keys = [f"key-{i}" for i in range(50)]
+        ring_a = ConsistentHashRing(["A", "B"], virtual_nodes=16)
+        ring_b = ConsistentHashRing(["A", "B"], virtual_nodes=16)
+        assert rebalance_plan(ring_a, ring_b, keys, replication=2) == []
+
+    def test_replication_validation(self):
+        ring = ConsistentHashRing(["A"], virtual_nodes=4)
+        with pytest.raises(ConfigurationError):
+            rebalance_plan(ring, ring, ["k"], replication=0)

@@ -5,6 +5,11 @@ must be idempotent and the causality mechanisms must not be confused by
 re-delivered state.  These tests run workloads under deliberately hostile
 transport settings and assert that (a) the cluster still converges and (b) the
 causal outcomes are identical to a clean run of the same seed.
+
+The second half targets the newer protocol paths: partitions healing in the
+middle of a Merkle anti-entropy round, coordinators crashing while they hold
+outstanding hints, and hint replay to a replica that rejoined with wiped
+storage.
 """
 
 from __future__ import annotations
@@ -98,3 +103,152 @@ class TestDeterminism:
         second = run_workload("dvv", seed=2, latency=UniformLatency(0.1, 2.0))
         assert ([round(r.latency_ms, 6) for r in first.all_request_records()]
                 != [round(r.latency_ms, 6) for r in second.all_request_records()])
+
+
+def build_quiet_cluster(seed=7, **kwargs):
+    """A cluster with no background daemons: faults are injected by hand."""
+    kwargs.setdefault("server_ids", ("n1", "n2", "n3"))
+    kwargs.setdefault("quorum", QuorumConfig(n=3, r=2, w=2))
+    kwargs.setdefault("latency", FixedLatency(0.5))
+    kwargs.setdefault("anti_entropy_interval_ms", None)
+    kwargs.setdefault("hint_replay_interval_ms", None)
+    return SimulatedCluster(create("dvv"), seed=seed, **kwargs)
+
+
+def seed_keys(cluster, keys, settle_ms=30.0):
+    """Write one value per key and settle: with N=3/W=2 over three servers the
+    put fan-out reaches every replica, so the cluster starts converged without
+    needing an anti-entropy pass (which would stop the background daemons)."""
+    client = cluster.client("seeder")
+    for key in keys:
+        client.put(key, f"{key}-v1")
+    cluster.run(until=cluster.simulation.now + settle_ms)
+    return client
+
+
+class TestPartitionHealingMidAntiEntropy:
+    def test_heal_mid_merkle_round_still_converges(self):
+        cluster = build_quiet_cluster()
+        client = seed_keys(cluster, [f"k{i}" for i in range(8)])
+
+        # Diverge keys coordinated away from n3 while n3 is cut off (a GET
+        # through a partitioned coordinator could not reach its R=2 quorum).
+        divergers = [key for key in cluster.key_universe()
+                     if cluster.placement.coordinator_for(key) != "n3"][:2]
+        assert divergers
+        cluster.partitions.partition({"n1", "n2"}, {"n3"})
+        for key in divergers:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-late"))
+        cluster.simulation.run_until_idle()
+
+        # Start a Merkle round toward the partitioned node: the level-0
+        # request is dropped at the sender, leaving a dangling session.
+        cluster.start_exchange("n1", "n3")
+        cluster.simulation.run_until_idle()
+        assert cluster.transport.stats.dropped_partition > 0
+        assert not cluster.is_converged()
+
+        # Now start a round between the connected pair and heal the partition
+        # mid-exchange: the first messages flow, the partition heals before
+        # the next level, and later rounds finish the job without the stale
+        # n1->n3 session corrupting anything.
+        cluster.start_exchange("n1", "n2")
+        cluster.run(until=cluster.simulation.now + 0.6)  # level-0 delivered
+        cluster.partitions.heal()
+        rounds = cluster.converge(max_rounds=20)
+        assert cluster.is_converged()
+        assert rounds >= 1
+        merkle_transfers = sum(server.node.stats["merkle_syncs"]
+                               for server in cluster.servers.values())
+        assert merkle_transfers > 0
+
+    def test_partition_cut_mid_round_then_heal(self):
+        """A partition cutting an exchange after level 0 corrupts nothing."""
+        cluster = build_quiet_cluster()
+        client = seed_keys(cluster, [f"k{i}" for i in range(6)])
+        # Diverge a key coordinated away from n3 while n3 is cut off.
+        diverger = next(key for key in cluster.key_universe()
+                        if cluster.placement.coordinator_for(key) != "n3")
+        cluster.partitions.partition({"n1", "n2"}, {"n3"})
+        client.get(diverger, lambda _r, k=diverger: client.put(k, f"{k}-late"))
+        cluster.simulation.run_until_idle()
+        cluster.partitions.heal()
+        assert not cluster.is_converged()
+        # Start an exchange toward n3 and cut the link again mid-round: the
+        # level-0 request is delivered but the deeper levels are dropped.
+        cluster.start_exchange("n1", "n3")
+        cluster.run(until=cluster.simulation.now + 0.6)  # level-0 delivered
+        cluster.partitions.partition({"n1", "n2"}, {"n3"})
+        cluster.simulation.run_until_idle()              # rest of round dropped
+        assert not cluster.is_converged()
+        cluster.partitions.heal()
+        cluster.converge(max_rounds=20)
+        assert cluster.is_converged()
+
+
+class TestCoordinatorCrashWithHints:
+    def test_hints_die_with_coordinator_but_cluster_recovers(self):
+        cluster = build_quiet_cluster(hint_replay_interval_ms=30.0)
+        keys = ["h1", "h2", "h3"]
+        client = seed_keys(cluster, keys)
+
+        cluster.fail_node("n3")
+        for key in keys:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-while-down"))
+        cluster.run(until=cluster.simulation.now + 25.0)
+
+        holders = [server_id for server_id, server in cluster.servers.items()
+                   if server.node.pending_hints() > 0]
+        assert holders, "expected coordinators to hold hints for the down replica"
+        total_hints = sum(server.node.stats["hints_stored"]
+                          for server in cluster.servers.values())
+        assert total_hints >= len(keys)
+
+        # Crash every coordinator holding hints: in-memory hints are lost.
+        for holder in holders:
+            cluster.fail_node(holder)
+        cluster.run(until=cluster.simulation.now + 10.0)
+
+        # Everyone comes back; anti-entropy (not hints) must converge them.
+        cluster.recover_node("n3")
+        for holder in holders:
+            cluster.recover_node(holder)
+        cluster.converge(max_rounds=20)
+        assert cluster.is_converged()
+        for key in keys:
+            values = {tuple(sorted(map(str, server.node.values_of(key))))
+                      for server in cluster.servers.values()}
+            assert len(values) == 1
+            assert f"{key}-while-down" in values.pop()
+
+
+class TestHintReplayToWipedNode:
+    def test_wiped_rejoin_is_repopulated_by_hint_replay(self):
+        cluster = build_quiet_cluster(hint_replay_interval_ms=20.0)
+        keys = ["w1", "w2"]
+        client = seed_keys(cluster, keys)
+
+        cluster.fail_node("n3")
+        for key in keys:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-hinted"))
+        cluster.run(until=cluster.simulation.now + 25.0)
+        pending_before = sum(server.node.pending_hints()
+                             for server in cluster.servers.values())
+        assert pending_before >= len(keys)
+
+        # The victim rejoins with wiped storage; hint replay (nudged by the
+        # membership listener and driven by the daemon) repopulates it.
+        cluster.recover_node("n3", wipe=True)
+        assert cluster.servers["n3"].node.storage.keys() == []
+        cluster.run(until=cluster.simulation.now + 80.0)
+
+        replays = cluster.servers["n3"].node.stats["hint_replays"]
+        assert replays >= len(keys)
+        for key in keys:
+            assert f"{key}-hinted" in map(str, cluster.servers["n3"].node.values_of(key))
+        # Acked hints are cleared, and replays were counted separately from
+        # ordinary merges on the receiving node.
+        assert sum(server.node.pending_hints()
+                   for server in cluster.servers.values()) == 0
+        cluster.converge(max_rounds=20)
+        assert cluster.is_converged()

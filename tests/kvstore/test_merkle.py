@@ -64,6 +64,23 @@ class TestMerkleTree:
         with pytest.raises(ConfigurationError):
             MerkleTree({}, depth=0)
 
+    def test_path_queries_for_wire_protocol(self):
+        store = populated_store(keys=8)
+        tree = MerkleTree.for_node(store.node("A"), fanout=4, depth=2)
+        assert tree.digest_at(()) == tree.root_digest
+        level1 = tree.child_digests(())
+        assert [path for path, _ in level1] == [(0,), (1,), (2,), (3,)]
+        # leaf buckets partition the key space
+        all_keys = []
+        for path, _digest in level1:
+            for leaf_path, _leaf_digest in tree.child_digests(path):
+                all_keys.extend(tree.bucket_fingerprints(leaf_path))
+        assert sorted(all_keys) == tree.keys()
+        with pytest.raises(ConfigurationError):
+            tree.node_at((9,))
+        with pytest.raises(ConfigurationError):
+            tree.bucket_fingerprints(())  # root is not a leaf
+
 
 class TestDiffKeys:
     def test_diff_finds_exactly_the_divergent_keys(self):
@@ -109,6 +126,45 @@ class TestDiffKeys:
         tree_b = MerkleTree({}, fanout=8, depth=2)
         with pytest.raises(ConfigurationError):
             diff_keys(tree_a, tree_b)
+
+    def test_single_key_divergence_is_localised(self):
+        """One divergent key among many: the diff descends into exactly one
+        bucket and compares only that bucket's keys."""
+        store = populated_store(keys=64)
+        store.converge()
+        client = ClientSession("late-writer")
+        client.get(store, "key-11", server_id="A")
+        client.put(store, "key-11", "changed", server_id="A")
+        universe = store.node("A").storage.keys()
+        tree_a = MerkleTree.for_node(store.node("A"), universe)
+        tree_b = MerkleTree.for_node(store.node("B"), universe)
+        stats = DiffStats()
+        assert diff_keys(tree_a, tree_b, stats) == ["key-11"]
+        assert stats.buckets_descended == 1
+        assert stats.keys_divergent == 1
+        # only the divergent bucket's keys were fingerprint-compared
+        bucket_keys = stats.keys_compared
+        assert bucket_keys < 64 / 4
+        # root + its 16 children + the 16 leaves of the single differing
+        # branch — the other 15 branches are never descended into
+        assert stats.nodes_compared == 1 + 16 + 16
+
+    def test_tree_updates_after_key_deletion(self):
+        """Deleting a key changes the tree and the diff localises exactly it."""
+        store = populated_store(keys=12)
+        store.converge()
+        node_a = store.node("A")
+        before = MerkleTree.for_node(node_a)
+        node_a.storage.delete("key-5")
+        after = MerkleTree.for_node(node_a)
+        assert before.root_digest != after.root_digest
+        assert after.fingerprint("key-5") is None
+        assert "key-5" not in after.keys()
+        assert diff_keys(before, after) == ["key-5"]
+        # against a replica that still has the key, the deletion shows up as
+        # exactly that key diverging
+        tree_b = MerkleTree.for_node(store.node("B"))
+        assert diff_keys(after, tree_b) == ["key-5"]
 
 
 class TestMerkleAntiEntropy:

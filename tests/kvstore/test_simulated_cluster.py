@@ -158,3 +158,237 @@ class TestFailuresAndMetrics:
         assert default_value_size(b"1234") == 4
         assert default_value_size("abc") == len(repr("abc"))
         assert default_value_size({"a": 1}) > 0
+
+
+def seed_converged(cluster, keys):
+    client = cluster.client("seeder")
+    for key in keys:
+        client.put(key, f"{key}-v1")
+    cluster.simulation.run_until_idle()
+    return client
+
+
+class TestMerkleAntiEntropyProtocol:
+    def test_clean_exchange_costs_one_digest_roundtrip(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, [f"k{i}" for i in range(10)])
+        assert cluster.is_converged()
+        sent_before = cluster.transport.stats.sent
+        cluster.start_exchange("n1", "n2")
+        cluster.simulation.run_until_idle()
+        assert cluster.merkle_stats.exchanges_clean == 1
+        # root request + "nothing differs" response, no key states
+        assert cluster.transport.stats.sent - sent_before == 2
+        assert cluster.transport.stats.per_type.get("merkle_key_states", 0) == 0
+
+    def test_diverged_exchange_transfers_only_divergent_keys(self):
+        cluster = build_cluster(quorum=QuorumConfig(n=3, r=1, w=1, sloppy=False),
+                                hint_replay_interval_ms=None)
+        client = seed_converged(cluster, [f"k{i}" for i in range(12)])
+        cluster.run_anti_entropy_round()
+        assert cluster.is_converged()
+        # diverge one key via a write that only reaches the coordinator's
+        # side: partition the other two servers away first
+        key = next(k for k in cluster.key_universe()
+                   if cluster.placement.coordinator_for(k) == "n1")
+        cluster.partitions.partition({"n1"}, {"n2", "n3"})
+        client.get(key, lambda _r: client.put(key, "diverged"))
+        cluster.simulation.run_until_idle()
+        cluster.partitions.heal()
+
+        cluster.start_exchange("n1", "n2")
+        cluster.simulation.run_until_idle()
+        assert cluster.servers["n2"].node.stats["merkle_syncs"] >= 1
+        # ordinary merges on n2 were not inflated by the merkle transfer
+        assert "diverged" in map(str, cluster.servers["n2"].node.values_of(key))
+        assert cluster.merkle_stats.keys_transferred <= 2  # one key, both directions
+
+    def test_full_strategy_still_available(self):
+        cluster = build_cluster(anti_entropy_strategy="full", hint_replay_interval_ms=None)
+        seed_converged(cluster, ["a", "b"])
+        cluster.start_exchange("n1", "n2")
+        cluster.simulation.run_until_idle()
+        assert cluster.transport.stats.per_type.get("sync_request", 0) == 1
+        assert cluster.merkle_stats.exchanges_started == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(Exception):
+            build_cluster(anti_entropy_strategy="telepathy")
+
+    def test_sync_batching_splits_large_transfers(self):
+        cluster = build_cluster(sync_batch_size=2, hint_replay_interval_ms=None)
+        client = seed_converged(cluster, [f"k{i}" for i in range(8)])
+        cluster.run_anti_entropy_round()
+        cluster.partitions.partition({"n1"}, {"n2", "n3"})
+        for key in [k for k in cluster.key_universe()
+                    if cluster.placement.coordinator_for(k) == "n1"][:5]:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-late"))
+        cluster.simulation.run_until_idle()
+        cluster.partitions.heal()
+        sent_before = cluster.transport.stats.per_type.get("merkle_key_states", 0)
+        cluster.start_exchange("n1", "n2")
+        cluster.simulation.run_until_idle()
+        sent = cluster.transport.stats.per_type.get("merkle_key_states", 0) - sent_before
+        if cluster.merkle_stats.keys_transferred > 2:
+            assert sent >= 2  # batches of two keys each
+
+
+class TestHintedHandoff:
+    def test_write_to_down_primary_stores_hint(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        # hinted handoff disabled => no hints
+        cluster.fail_node("n3")
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.simulation.run_until_idle()
+        assert sum(s.node.pending_hints() for s in cluster.servers.values()) == 0
+
+        cluster = build_cluster(hint_replay_interval_ms=40.0)
+        cluster.fail_node("n3")
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=cluster.simulation.now + 10.0)
+        holders = [s for s in cluster.servers.values() if s.node.pending_hints()]
+        assert holders
+        assert holders[0].node.stats["hints_stored"] == 1
+        assert holders[0].node.hints_for("n3")[0].key == "k"
+
+    def test_hint_replayed_on_recovery(self):
+        cluster = build_cluster(hint_replay_interval_ms=30.0)
+        cluster.fail_node("n3")
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=cluster.simulation.now + 10.0)
+        assert "v1" not in map(str, cluster.servers["n3"].node.values_of("k"))
+        cluster.recover_node("n3")
+        cluster.run(until=cluster.simulation.now + 60.0)
+        assert list(map(str, cluster.servers["n3"].node.values_of("k"))) == ["v1"]
+        assert cluster.servers["n3"].node.stats["hint_replays"] == 1
+        # acked hints are cleared everywhere
+        assert sum(s.node.pending_hints() for s in cluster.servers.values()) == 0
+
+
+class TestElasticMembership:
+    def test_join_node_receives_handoff(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, [f"k{i}" for i in range(10)])
+        handed_off = cluster.join_node("n4")
+        cluster.simulation.run_until_idle()
+        joiner = cluster.servers["n4"]
+        assert handed_off > 0
+        assert joiner.node.stats["handoffs"] > 0
+        assert len(joiner.node.storage.keys()) > 0
+        # the joiner serves reads for keys it now coordinates
+        assert "n4" in cluster.ring.nodes()
+        assert cluster.membership.is_up("n4")
+        if cluster.anti_entropy is not None:
+            assert "n4" in cluster.anti_entropy.nodes()
+        # every key the joiner is now a primary home for was pushed to it
+        for key in cluster.key_universe():
+            if "n4" in cluster.placement.primary_replicas(key):
+                assert cluster.servers["n4"].node.storage.has_key(key)
+
+    def test_duplicate_join_rejected(self):
+        cluster = build_cluster()
+        with pytest.raises(Exception):
+            cluster.join_node("n1")
+
+    def test_decommission_preserves_sole_copies(self):
+        # W=1 without replication fan-out beyond the coordinator would lose
+        # data on departure if the node did not hand its keys off.
+        cluster = build_cluster(quorum=QuorumConfig(n=1, r=1, w=1, sloppy=False),
+                                hint_replay_interval_ms=None)
+        client = seed_converged(cluster, [f"k{i}" for i in range(12)])
+        victim = "n2"
+        sole_keys = [key for key in cluster.key_universe()
+                     if cluster.servers[victim].node.storage.has_key(key)]
+        handed_off = cluster.decommission_node(victim)
+        cluster.simulation.run_until_idle()
+        assert victim not in cluster.servers
+        assert victim not in cluster.ring.nodes()
+        assert victim not in cluster.membership
+        if sole_keys:
+            assert handed_off >= len(sole_keys)
+            for key in sole_keys:
+                holders = [s for s in cluster.servers.values()
+                           if s.node.storage.has_key(key)]
+                assert holders, f"key {key!r} lost on decommission"
+
+    def test_crashed_node_is_never_a_handoff_source(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, [f"k{i}" for i in range(8)])
+        cluster.fail_node("n2")
+        cluster.transport.trace_enabled = True
+        cluster.join_node("n4")
+        cluster.simulation.run_until_idle()
+        handoffs = [m for m in cluster.transport.trace
+                    if m.msg_type.value == "key_handoff"]
+        assert handoffs, "live holders should still hand keys to the joiner"
+        assert all(m.sender != "n2" for m in handoffs), \
+            "a crashed node must never be the handoff source"
+        # the joiner still got every key it now owns, from live holders
+        for key in cluster.key_universe():
+            if "n4" in cluster.placement.primary_replicas(key):
+                assert cluster.servers["n4"].node.storage.has_key(key)
+
+    def test_decommission_of_down_node_skips_handoff_and_purges_hints(self):
+        cluster = build_cluster(hint_replay_interval_ms=40.0)
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=cluster.simulation.now + 10.0)
+        cluster.fail_node("n3")
+        client.get("k", lambda _r: client.put("k", "v2"))
+        cluster.run(until=cluster.simulation.now + 10.0)
+        assert sum(s.node.pending_hints() for s in cluster.servers.values()) > 0
+        handed_off = cluster.decommission_node("n3")
+        assert handed_off == 0  # a crashed disk cannot push its keys
+        # hints for the removed node are purged everywhere
+        assert sum(s.node.pending_hints() for s in cluster.servers.values()) == 0
+        assert cluster.stat_totals()["pending_hints"] == 0
+
+    def test_decommission_into_partition_refused(self):
+        # Handing keys off into a partition would silently drop sole copies;
+        # the graceful leave must refuse instead, leaving the ring intact.
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, [f"k{i}" for i in range(6)])
+        cluster.partitions.partition({"n1"}, {"n2", "n3"})
+        with pytest.raises(Exception):
+            cluster.decommission_node("n1")
+        assert "n1" in cluster.servers
+        assert "n1" in cluster.ring.nodes()
+        assert cluster.membership.is_up("n1")
+        cluster.partitions.heal()
+        cluster.decommission_node("n1")      # now it succeeds
+        assert "n1" not in cluster.servers
+
+    def test_departed_node_stats_still_counted(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, ["a", "b", "c"])
+        writes_before = cluster.stat_totals()["writes"]
+        assert writes_before > 0
+        victim = next(iter(sorted(cluster.servers)))
+        victim_writes = cluster.servers[victim].node.stats["writes"]
+        cluster.decommission_node(victim)
+        cluster.simulation.run_until_idle()
+        totals = cluster.stat_totals()
+        assert totals["writes"] == writes_before
+        if victim_writes:
+            # the departed node's work survives in the totals
+            live_writes = sum(s.node.stats["writes"] for s in cluster.servers.values())
+            assert totals["writes"] == live_writes + victim_writes
+
+    def test_cluster_still_serves_after_churn(self):
+        cluster = build_cluster(hint_replay_interval_ms=None)
+        seed_converged(cluster, ["a", "b"])
+        cluster.join_node("n4")
+        cluster.simulation.run_until_idle()
+        cluster.decommission_node("n1")
+        cluster.simulation.run_until_idle()
+        outcome = {}
+        client = cluster.client("reader")
+        client.put("a", "after-churn", lambda r: outcome.setdefault("put", r))
+        cluster.simulation.run_until_idle()
+        client.get("a", lambda r: outcome.setdefault("get", r))
+        cluster.drain()
+        assert outcome["put"].coordinator in cluster.servers
+        assert "after-churn" in map(str, outcome["get"].values)

@@ -78,3 +78,28 @@ class TestClusterCommand:
         output = capsys.readouterr().out
         assert "requests completed" in output
         assert "mean latency (ms)" in output
+
+    def test_full_strategy_selectable(self, capsys):
+        assert main(["cluster", "--mechanism", "dvv", "--clients", "2",
+                     "--duration-ms", "100", "--anti-entropy", "full"]) == 0
+        assert "requests completed" in capsys.readouterr().out
+
+
+class TestChurnCommand:
+    def test_elasticity_scenario(self, capsys):
+        assert main(["churn", "--scenario", "elasticity", "--mechanism", "dvv",
+                     "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "converged" in output and "yes" in output
+        assert "handoff keys" in output
+        assert "merkle key syncs" in output
+
+    def test_flappy_scenario_reports_hints(self, capsys):
+        assert main(["churn", "--scenario", "flappy_replica", "--mechanism",
+                     "dvvset", "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "hint replays" in output
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--scenario", "nonsense"])

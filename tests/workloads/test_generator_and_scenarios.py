@@ -163,3 +163,47 @@ class TestNamedScenarios:
         result = replay_scenario("figure1", DVVMechanism())
         result.store.converge()
         assert result.store.values("obj", "A") == ["v4"]
+
+
+class TestChurnScenarios:
+    def test_elasticity_scenario_converges_and_rebalances(self):
+        from repro.workloads import run_elasticity_scenario
+
+        report = run_elasticity_scenario(create("dvv"), seed=21)
+        assert report.converged
+        assert report.joined == ["n4", "n5"]
+        assert report.departed == ["n1"]
+        assert sorted(report.final_servers) == ["n2", "n3", "n4", "n5"]
+        assert report.handoff_keys > 0
+        assert report.stats["handoffs"] > 0
+        assert report.requests_completed > 0
+
+    def test_flappy_scenario_stores_and_replays_hints(self):
+        from repro.workloads import run_flappy_replica_scenario
+
+        report = run_flappy_replica_scenario(create("dvvset"), seed=31)
+        assert report.converged
+        assert report.stats["hints_stored"] > 0
+        assert report.stats["hint_replays"] > 0
+        assert report.stats["pending_hints"] == 0
+
+    def test_flappy_with_wiped_recovery(self):
+        from repro.workloads import run_flappy_replica_scenario
+
+        report = run_flappy_replica_scenario(create("dvv"), seed=41,
+                                             wipe_on_recover=True)
+        assert report.converged
+
+    def test_churn_scenarios_converge_under_both_strategies(self):
+        from repro.workloads import run_churn_scenario
+
+        for strategy in ("merkle", "full"):
+            report = run_churn_scenario("elasticity", create("dvv"), seed=5,
+                                        anti_entropy_strategy=strategy)
+            assert report.converged, strategy
+
+    def test_unknown_churn_scenario(self):
+        from repro.workloads import run_churn_scenario
+
+        with pytest.raises(KeyError):
+            run_churn_scenario("nope", DVVMechanism())
