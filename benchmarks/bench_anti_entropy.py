@@ -34,7 +34,12 @@ from repro.analysis import render_table
 from repro.clocks import create
 from repro.kvstore import AntiEntropyScheduler, ClientSession, MerkleAntiEntropy, SimulatedCluster, SyncReplicatedStore
 from repro.network import FixedLatency
-from repro.workloads import WorkloadConfig, generate_workload, replay_trace
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    replay_trace,
+    run_sloppy_partition_scenario,
+)
 
 KEY_COUNTS = [10, 50, 200]
 DIVERGENT_FRACTION = 0.1
@@ -223,8 +228,68 @@ def test_cluster_strategies_reach_identical_states():
         assert full_values == merkle_values
 
 
+# --------------------------------------------------------------------------- #
+# Sloppy vs strict quorums: availability and latency under a partition
+# --------------------------------------------------------------------------- #
+def availability_under_partition(quorum_mode: str, seed: int = 13):
+    """Run the sloppy-partition scenario and reduce it to availability numbers.
+
+    Returns ``(report, mean_put_latency_ms)``: the scenario's ChurnReport
+    (requests completed vs failed, convergence) and the mean latency of the
+    *successful* writes.  Byte series built on the cluster's transport stats
+    count only delivered bytes — traffic eaten by the partition is accounted
+    separately — so the two modes are compared on what actually crossed the
+    wire.
+    """
+    report = run_sloppy_partition_scenario(create("dvv"), seed=seed,
+                                           quorum_mode=quorum_mode)
+    records = [record for record in report.cluster.all_request_records()
+               if record.ok and record.operation == "put"]
+    mean_put_ms = (sum(record.latency_ms for record in records) / len(records)
+                   if records else 0.0)
+    return report, mean_put_ms
+
+
+QUORUM_MODES = ("strict", "sloppy")
+
+
+@pytest.fixture(scope="module")
+def availability_sweep():
+    return {mode: availability_under_partition(mode) for mode in QUORUM_MODES}
+
+
+def test_report_sloppy_availability(availability_sweep, publish):
+    rows = []
+    for mode in QUORUM_MODES:
+        report, mean_put_ms = availability_sweep[mode]
+        rows.append([mode, report.requests_completed, report.requests_failed,
+                     round(mean_put_ms, 2), report.converged,
+                     report.stats.get("hints_stored", 0)])
+    table = render_table(
+        ["quorum mode", "completed", "failed", "mean put ms", "converged", "hints"],
+        rows,
+        title="Async request mode — availability under partition (strict vs sloppy)",
+    )
+    publish("sloppy_availability", table)
+    strict_report, _ = availability_sweep["strict"]
+    sloppy_report, _ = availability_sweep["sloppy"]
+    # The whole point of sloppy quorums: keep accepting writes during the
+    # partition that strict quorums reject.
+    assert strict_report.requests_failed > 0
+    assert sloppy_report.requests_failed < strict_report.requests_failed
+    assert sloppy_report.requests_completed > strict_report.requests_completed
+    for mode in QUORUM_MODES:
+        assert availability_sweep[mode][0].converged
+
+
 def run_smoke(keys: int = 60) -> int:
-    """Quick regression gate for CI: merkle must beat full-state on bytes."""
+    """Quick regression gate for CI.
+
+    Two checks: (1) merkle-delta anti-entropy must transfer fewer bytes than
+    the full-state exchange; (2) under a partition, the async request mode's
+    sloppy quorums must complete writes that strict quorums fail, and still
+    converge after healing.
+    """
     full_bytes, full_rounds, _ = cluster_sync_bytes(keys, "full")
     merkle_bytes, merkle_rounds, merkle_cluster = cluster_sync_bytes(keys, "merkle")
     print(render_table(
@@ -241,6 +306,32 @@ def run_smoke(keys: int = 60) -> int:
         return 1
     print(f"OK: merkle-delta saves {full_bytes - merkle_bytes} bytes "
           f"({full_bytes / max(merkle_bytes, 1):.1f}x)")
+
+    sweeps = {mode: availability_under_partition(mode) for mode in QUORUM_MODES}
+    print(render_table(
+        ["quorum mode", "completed", "failed", "mean put ms", "converged"],
+        [[mode, report.requests_completed, report.requests_failed,
+          round(mean_put_ms, 2), report.converged]
+         for mode, (report, mean_put_ms) in sweeps.items()],
+        title="Sloppy-quorum smoke (availability under partition)",
+    ))
+    strict_report = sweeps["strict"][0]
+    sloppy_report = sweeps["sloppy"][0]
+    if not (strict_report.converged and sloppy_report.converged):
+        print("FAIL: a quorum mode did not converge after healing", file=sys.stderr)
+        return 1
+    if strict_report.requests_failed == 0:
+        print("FAIL: strict quorums no longer fail writes under the partition "
+              "(the scenario stopped exercising the fallback path)", file=sys.stderr)
+        return 1
+    if sloppy_report.requests_failed >= strict_report.requests_failed:
+        print("FAIL: sloppy quorums no longer improve availability "
+              f"({sloppy_report.requests_failed} >= {strict_report.requests_failed} "
+              "failed writes)", file=sys.stderr)
+        return 1
+    print(f"OK: sloppy quorums completed {sloppy_report.requests_completed} requests "
+          f"({sloppy_report.requests_failed} failed) vs strict "
+          f"{strict_report.requests_completed} ({strict_report.requests_failed} failed)")
     return 0
 
 

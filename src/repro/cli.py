@@ -152,6 +152,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_churn(args: argparse.Namespace) -> int:
     """Run a churn scenario (elastic membership / flappy replica) and report."""
     report = run_churn_scenario(args.scenario, create(args.mechanism), seed=args.seed,
+                                quorum_mode=args.quorum_mode,
                                 anti_entropy_strategy=args.anti_entropy)
     stats = report.stats
     print(render_table(
@@ -159,6 +160,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
         [
             ["scenario", report.scenario],
             ["mechanism", report.mechanism],
+            ["quorum mode", report.quorum_mode],
             ["converged", report.converged],
             ["convergence rounds", report.convergence_rounds],
             ["final servers", ",".join(report.final_servers)],
@@ -166,6 +168,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
             ["departed", ",".join(report.departed) or "-"],
             ["handoff keys", report.handoff_keys],
             ["requests completed", report.requests_completed],
+            ["requests failed", report.requests_failed],
             ["hints stored", stats.get("hints_stored", 0)],
             ["hint replays", stats.get("hint_replays", 0)],
             ["merkle key syncs", stats.get("merkle_syncs", 0)],
@@ -185,10 +188,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         server_ids=tuple(f"n{i}" for i in range(args.servers)),
         quorum=QuorumConfig(n=min(3, args.servers),
                             r=min(2, args.servers),
-                            w=min(2, args.servers)),
+                            w=min(2, args.servers),
+                            sloppy=args.quorum_mode == "sloppy"),
         latency=SizeDependentLatency(base=FixedLatency(0.25), bytes_per_ms=args.bytes_per_ms),
         anti_entropy_interval_ms=50.0,
         anti_entropy_strategy=args.anti_entropy,
+        request_mode=args.request_mode,
         seed=args.seed,
     )
     workload = ClosedLoopConfig(
@@ -198,8 +203,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         stop_at_ms=args.duration_ms,
     )
     run_closed_loop_workload(cluster, client_count=args.clients, config=workload)
-    latency = analyze_requests(args.mechanism, cluster.all_request_records(),
-                               duration_ms=args.duration_ms)
+    records = cluster.all_request_records()
+    latency = analyze_requests(args.mechanism, records, duration_ms=args.duration_ms)
     metadata = measure_simulated_cluster(cluster)
     print(render_table(
         ["metric", "value"],
@@ -207,7 +212,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ["mechanism", args.mechanism],
             ["servers", args.servers],
             ["clients", args.clients],
+            ["request mode", args.request_mode],
+            ["quorum mode", args.quorum_mode],
             ["requests completed", latency.requests],
+            ["requests failed", sum(1 for record in records if not record.ok)],
             ["mean latency (ms)", round(latency.overall.mean, 3)],
             ["p95 latency (ms)", round(latency.overall.p95, 3)],
             ["p99 latency (ms)", round(latency.overall.p99, 3)],
@@ -274,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--mechanism", default="dvv", choices=available())
     churn.add_argument("--anti-entropy", default="merkle", choices=["merkle", "full"],
                        dest="anti_entropy")
+    churn.add_argument("--quorum-mode", default="sloppy", choices=["strict", "sloppy"],
+                       dest="quorum_mode",
+                       help="strict quorums fail writes when primaries are unreachable; "
+                            "sloppy quorums fall back to the next ring nodes")
     churn.add_argument("--seed", type=int, default=2012)
     churn.set_defaults(handler=cmd_churn)
 
@@ -282,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--mechanism", default="dvv", choices=available())
     cluster.add_argument("--anti-entropy", default="merkle", choices=["merkle", "full"],
                          dest="anti_entropy")
+    cluster.add_argument("--request-mode", default="membership",
+                         choices=["membership", "async"], dest="request_mode",
+                         help="membership: coordinators consult the failure detector; "
+                              "async: per-replica deadlines with sloppy-quorum fallbacks")
+    cluster.add_argument("--quorum-mode", default="sloppy", choices=["strict", "sloppy"],
+                         dest="quorum_mode")
     cluster.add_argument("--servers", type=int, default=3)
     cluster.add_argument("--clients", type=int, default=16)
     cluster.add_argument("--keys", type=int, default=2)

@@ -17,7 +17,7 @@ coordinator talks to for a given request, following Dynamo's rules:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..core.exceptions import ConfigurationError
 from .membership import Membership
@@ -88,6 +88,27 @@ class PlacementService:
             result.append(node)
         return result
 
+    def extended_preference_list(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Every ring node in clockwise order from the key: primaries first.
+
+        This is the candidate order the *async* request mode walks: the first
+        N entries are the primary replicas, the rest are the sloppy-quorum
+        fallback nodes that stand in for timed-out primaries.  Liveness is
+        deliberately ignored — in async mode failures are discovered by
+        deadline, not by consulting the membership view.
+        """
+        return self.ring.preference_list(key, count if count is not None else len(self.ring))
+
+    def fallbacks_for(self, key: str, exclude: Sequence[str] = ()) -> List[str]:
+        """Sloppy-quorum fallback candidates for ``key``, in ring order.
+
+        ``exclude`` lists nodes already contacted (primaries and previously
+        tried fallbacks); the result is the remaining ring walk.
+        """
+        excluded = set(exclude)
+        return [node for node in self.extended_preference_list(key)
+                if node not in excluded]
+
     def coordinator_for(self, key: str) -> str:
         """The node a client should send its request to (first active replica)."""
         replicas = self.active_replicas(key)
@@ -105,6 +126,7 @@ class PlacementService:
             "key": key,
             "primary": self.primary_replicas(key),
             "active": self.active_replicas(key),
+            "extended": self.extended_preference_list(key),
             "coordinator": self.coordinator_for(key),
             "config": self.config,
         }

@@ -25,6 +25,7 @@ from .merge import (
 from .read_repair import ReadRepairStats, RepairPlan, plan_read_repair
 from .server import Hint, StorageNode
 from .simulated import (
+    REQUEST_MODES,
     MerkleSyncStats,
     MessageServer,
     RequestRecord,
@@ -37,6 +38,7 @@ from .sync_store import SyncReplicatedStore
 from .write_log import WriteLog, WriteRecord
 
 __all__ = [
+    "REQUEST_MODES",
     "AntiEntropyDaemon",
     "AntiEntropyScheduler",
     "CallbackResolver",

@@ -64,8 +64,18 @@ def plan_read_repair(mechanism: CausalityMechanism,
     )
 
 
-def _fingerprint(mechanism: CausalityMechanism, state: Any) -> frozenset:
-    return frozenset(sibling.origin_dot for sibling in mechanism.siblings(state))
+def _fingerprint(mechanism: CausalityMechanism, state: Any) -> tuple:
+    """Canonical, order-independent fingerprint of a state's sibling set.
+
+    Mechanisms return their sibling lists in whatever internal order merging
+    happened to produce, so the list is explicitly canonicalized — duplicates
+    collapsed, then sorted by origin dot — before comparison.  The invariant
+    this guarantees: a replica holding the same versions in a different
+    order must never compare unequal to the merged state, or it would be
+    sent the identical repair again on every read.
+    """
+    dots = {sibling.origin_dot for sibling in mechanism.siblings(state)}
+    return tuple(sorted((dot.actor, dot.counter) for dot in dots))
 
 
 class ReadRepairStats:

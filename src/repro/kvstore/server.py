@@ -11,14 +11,12 @@ handler.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from ..clocks.interface import CausalityMechanism, ReadResult, Sibling
 from ..core.exceptions import StaleContextError
 from .context import CausalContext
-from .storage import NodeStorage
+from .storage import Hint, NodeStorage
 
 #: Merge provenance → stats counter.  Hint replays and Merkle-delta key
 #: transfers are accounted separately from ordinary merges so tests and
@@ -29,16 +27,6 @@ MERGE_COUNTERS = {
     "merkle": "merkle_syncs",
     "handoff": "handoffs",
 }
-
-
-@dataclass
-class Hint:
-    """A write held for an unreachable replica (hinted handoff)."""
-
-    hint_id: int
-    target_id: str
-    key: str
-    state: Any
 
 
 class StorageNode:
@@ -61,8 +49,6 @@ class StorageNode:
             "handoffs": 0,
             "hints_stored": 0,
         }
-        self._hints: Dict[str, List[Hint]] = {}
-        self._hint_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     # Replica-local operations
@@ -125,35 +111,30 @@ class StorageNode:
     # Hinted handoff
     # ------------------------------------------------------------------ #
     def store_hint(self, target_id: str, key: str, state: Any) -> Hint:
-        """Hold a write for an unreachable replica until it recovers."""
-        hint = Hint(next(self._hint_ids), target_id, key, state)
-        self._hints.setdefault(target_id, []).append(hint)
+        """Hold a write for an unreachable replica until it recovers.
+
+        Hints are persisted in the node's storage layer, so they share the
+        disk's fate: a process restart keeps them (replay resumes), a wiped
+        disk loses them together with the key states.
+        """
         self.stats["hints_stored"] += 1
-        return hint
+        return self.storage.store_hint(target_id, key, state)
 
     def hints_for(self, target_id: str) -> List[Hint]:
         """The outstanding hints destined for ``target_id`` (oldest first)."""
-        return list(self._hints.get(target_id, []))
+        return self.storage.hints_for(target_id)
 
     def hint_targets(self) -> List[str]:
         """Node ids with at least one outstanding hint, sorted."""
-        return sorted(target for target, hints in self._hints.items() if hints)
+        return self.storage.hint_targets()
 
     def pending_hints(self) -> int:
         """Total outstanding hints across all targets."""
-        return sum(len(hints) for hints in self._hints.values())
+        return self.storage.pending_hints()
 
     def clear_hints(self, target_id: str, hint_ids: Optional[List[int]] = None) -> None:
         """Drop acknowledged hints (all of a target's when ``hint_ids`` is None)."""
-        if hint_ids is None:
-            self._hints.pop(target_id, None)
-            return
-        remaining = [hint for hint in self._hints.get(target_id, ())
-                     if hint.hint_id not in set(hint_ids)]
-        if remaining:
-            self._hints[target_id] = remaining
-        else:
-            self._hints.pop(target_id, None)
+        self.storage.clear_hints(target_id, hint_ids)
 
     # ------------------------------------------------------------------ #
     # Accounting

@@ -57,13 +57,33 @@ remaining replica homes), and :meth:`SimulatedCluster.fail_node` /
 storage on recovery.
 
 When a write coordinator cannot reach one of the key's primary replicas
-(crashed, or cut off by a partition), it stores a *hint* — target id plus the
-post-write state — in its local node.  The background
-:class:`~repro.kvstore.anti_entropy.HintedHandoffDaemon` replays hints
-(``HINT_REPLAY`` / ``HINT_ACK``) once the target is reachable again; a
-membership listener also nudges replay immediately on recovery.  Unlike
-Dynamo, hints live on the *coordinator* rather than on sloppy-quorum fallback
-nodes — a simplification that keeps the hint path orthogonal to placement.
+(crashed, or cut off by a partition), the write is held as a *hint* — target
+id plus the post-write state — persisted in the holder's storage layer, so a
+process restart of the holder does not lose it (a wiped disk does).  The
+background :class:`~repro.kvstore.anti_entropy.HintedHandoffDaemon` replays
+hints (``HINT_REPLAY`` / ``HINT_ACK``) once the target is reachable again; a
+membership listener also nudges replay immediately on recovery.
+
+Request modes: failure detector vs deadlines
+--------------------------------------------
+The cluster runs in one of two request modes (``request_mode``):
+
+* ``"membership"`` (default) — the PR-1 behaviour: the coordinator consults
+  the membership view's failure detector (``active_replicas`` /
+  ``can_reach``) to decide whom to contact and for whom to hold hints.
+  Hints live on the coordinator.
+* ``"async"`` — Dynamo-style timeout-driven coordination: the coordinator
+  fans out to the key's N *primary* replicas regardless of the membership
+  view, arms a per-replica deadline, and collects R/W acks.  When a replica's
+  deadline fires and the quorum is **sloppy** (``QuorumConfig.sloppy``), the
+  preference list is extended past the N primaries to the next node on the
+  ring, which accepts the write together with a hint naming the intended
+  primary; hint replay later returns the data to the primary.  With a
+  **strict** quorum (or an exhausted ring) the coordinator holds the hint
+  itself and the request fails with ``ERROR_REPLY`` once the quorum is
+  infeasible or the overall request deadline fires.  Clients in async mode
+  arm their own deadline and fail over to the next candidate coordinator on
+  the (extended) preference list before reporting the request as failed.
 """
 
 from __future__ import annotations
@@ -95,6 +115,11 @@ from .write_log import WriteLog
 DIGEST_BYTES = 32
 
 ANTI_ENTROPY_STRATEGIES = ("merkle", "full")
+
+#: How coordinators decide whom to contact: consult the membership view's
+#: failure detector ("membership", the default), or fan out with per-replica
+#: deadlines and sloppy-quorum fallbacks ("async").
+REQUEST_MODES = ("membership", "async")
 
 #: Message types that carry anti-entropy traffic (either strategy); the single
 #: source of truth for "sync bytes" measurements in reports and benchmarks.
@@ -132,6 +157,8 @@ class RequestRecord:
     coordinator: str = ""
     sibling_count: int = 0
     context_bytes: int = 0
+    #: Failure reason for ``ok=False`` records ("timeout", "quorum_unreachable", ...).
+    error: str = ""
 
     @property
     def latency_ms(self) -> float:
@@ -154,6 +181,15 @@ class _PendingCoordination:
     # put-only fields
     new_state: Any = None
     sibling: Optional[Sibling] = None
+    # async-mode fields
+    mode: str = "membership"
+    tried: List[str] = field(default_factory=list)       # every node contacted
+    timed_out: List[str] = field(default_factory=list)
+    deadlines: Dict[str, Any] = field(default_factory=dict)   # replica -> handle
+    request_deadline: Any = None
+    #: fallback -> the primary it stands in for (hint chains survive
+    #: a fallback itself timing out).
+    standing_in: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -229,6 +265,9 @@ class MessageServer:
     def _on_coordinate_get(self, message: Message) -> None:
         key = message.payload["key"]
         config = self.cluster.quorum
+        if self.cluster.request_mode == "async":
+            self._coordinate_get_async(message, key)
+            return
         replicas = self.cluster.placement.active_replicas(key)
         request_id = next(self._request_ids)
         pending = _PendingCoordination(
@@ -257,6 +296,36 @@ class MessageServer:
             ))
         self._maybe_finish_get(request_id)
 
+    def _coordinate_get_async(self, message: Message, key: str) -> None:
+        """Deadline-driven GET: fan out to the primaries, extend on timeout."""
+        config = self.cluster.quorum
+        extended = self.cluster.placement.extended_preference_list(key)
+        request_id = next(self._request_ids)
+        pending = _PendingCoordination(
+            kind="get",
+            key=key,
+            client_address=message.sender,
+            request_id=message.msg_id,
+            needed=min(config.r, max(len(extended), 1)),
+            mode="async",
+        )
+        self._pending[request_id] = pending
+        pending.tried.append(self.node_id)
+        primaries = self.cluster.placement.primary_replicas(key)
+        # The coordinator's own state only counts toward R when it is one of
+        # the key's replica homes — or, under a sloppy quorum, as a fallback
+        # read (the client failed over to it, so it stands in the extended
+        # top-N); a strict quorum accepts replies from primaries only.
+        if self.node_id in primaries or self.cluster.quorum.sloppy:
+            pending.replies.append((self.node_id, self.node.state_of(key)))
+            pending.replied_nodes.append(self.node_id)
+        for replica_id in primaries:
+            if replica_id == self.node_id:
+                continue
+            self._send_async_replica_request(request_id, pending, replica_id)
+        self._arm_request_deadline(request_id, pending)
+        self._maybe_finish_get(request_id)
+
     def _on_replica_get(self, message: Message) -> None:
         key = message.payload["key"]
         state = self.node.state_of(key)
@@ -278,6 +347,9 @@ class MessageServer:
         pending = self._pending.get(coordination_id)
         if pending is None or pending.done or pending.kind != "get":
             return
+        if message.sender in pending.replied_nodes:
+            return  # duplicate delivery
+        self.cluster.transport.cancel_deadline(pending.deadlines.pop(message.sender, None))
         pending.replies.append((message.sender, message.payload["state"]))
         pending.replied_nodes.append(message.sender)
         self._maybe_finish_get(coordination_id)
@@ -289,6 +361,7 @@ class MessageServer:
         if len(pending.replies) < pending.needed:
             return
         pending.done = True
+        self._cancel_pending_timers(pending)
 
         plan = plan_read_repair(self.mechanism, pending.replies)
         self.read_repair_stats.record(plan)
@@ -342,6 +415,9 @@ class MessageServer:
         self.cluster.write_log.append(
             key, sibling, self.node_id, client_id, self.cluster.simulation.now
         )
+        if self.cluster.request_mode == "async":
+            self._coordinate_put_async(message, key, sibling, new_state)
+            return
 
         request_id = next(self._request_ids)
         pending = _PendingCoordination(
@@ -379,8 +455,184 @@ class MessageServer:
                     self.node.store_hint(primary_id, key, new_state)
         self._maybe_finish_put(request_id)
 
+    def _coordinate_put_async(self, message: Message, key: str,
+                              sibling: Sibling, new_state: Any) -> None:
+        """Deadline-driven PUT: fan out to the primaries, collect W acks.
+
+        The membership view is not consulted; a primary that does not ack
+        before its deadline is treated as failed, and a sloppy quorum extends
+        the preference list to the next ring node, which accepts the write
+        together with a hint naming the intended primary.
+        """
+        config = self.cluster.quorum
+        extended = self.cluster.placement.extended_preference_list(key)
+        request_id = next(self._request_ids)
+        pending = _PendingCoordination(
+            kind="put",
+            key=key,
+            client_address=message.sender,
+            request_id=message.msg_id,
+            needed=min(config.w, max(len(extended), 1)),
+            new_state=new_state,
+            sibling=sibling,
+            mode="async",
+        )
+        self._pending[request_id] = pending
+        pending.tried.append(self.node_id)
+        primaries = self.cluster.placement.primary_replicas(key)
+        if self.node_id in primaries:
+            pending.replies.append((self.node_id, True))
+            pending.replied_nodes.append(self.node_id)
+        elif config.sloppy:
+            # The client failed over to a non-home coordinator: under a
+            # sloppy quorum its local copy counts as a fallback ack, and like
+            # any fallback it holds a hint so the write reaches a primary.
+            if self.cluster.hinted_handoff_enabled:
+                self.node.store_hint(primaries[0], key, new_state)
+            pending.replies.append((self.node_id, True))
+            pending.replied_nodes.append(self.node_id)
+        # (strict quorum on a non-home coordinator: only primary acks count)
+        for replica_id in primaries:
+            if replica_id == self.node_id:
+                continue
+            self._send_async_replica_request(request_id, pending, replica_id)
+        self._arm_request_deadline(request_id, pending)
+        self._maybe_finish_put(request_id)
+
+    # ------------------------------------------------------------------ #
+    # Async request mode: deadlines, fallbacks, failure replies
+    # ------------------------------------------------------------------ #
+    def _send_async_replica_request(self, coordination_id: int,
+                                    pending: _PendingCoordination,
+                                    replica_id: str,
+                                    hint_for: Optional[str] = None) -> None:
+        """Contact one replica (primary or fallback) and arm its deadline."""
+        pending.tried.append(replica_id)
+        if hint_for is not None:
+            pending.standing_in[replica_id] = hint_for
+        if pending.kind == "put":
+            payload = {"key": pending.key, "state": pending.new_state,
+                       "coordination_id": coordination_id}
+            if hint_for is not None:
+                payload["hint_for"] = hint_for
+            message = Message(
+                sender=self.node_id,
+                receiver=replica_id,
+                msg_type=MessageType.REPLICA_PUT,
+                payload=payload,
+                size_bytes=self._state_size(pending.key, pending.new_state),
+                request_id=coordination_id,
+            )
+        else:
+            message = Message(
+                sender=self.node_id,
+                receiver=replica_id,
+                msg_type=MessageType.REPLICA_GET,
+                payload={"key": pending.key, "coordination_id": coordination_id},
+                size_bytes=self.cluster.request_overhead_bytes,
+                request_id=coordination_id,
+            )
+        self.cluster.transport.send(message)
+        pending.deadlines[replica_id] = self.cluster.transport.schedule_deadline(
+            self.cluster.replica_timeout_ms,
+            lambda: self._on_replica_deadline(coordination_id, replica_id),
+            label=f"replica-deadline:{pending.kind}:{replica_id}",
+        )
+
+    def _arm_request_deadline(self, coordination_id: int,
+                              pending: _PendingCoordination) -> None:
+        pending.request_deadline = self.cluster.transport.schedule_deadline(
+            self.cluster.request_timeout_ms,
+            lambda: self._on_request_deadline(coordination_id),
+            label=f"request-deadline:{pending.kind}:{pending.key}",
+        )
+
+    def _on_replica_deadline(self, coordination_id: int, replica_id: str) -> None:
+        """A contacted replica missed its deadline: extend or give up on it.
+
+        Handoff outlives the client's answer: for a put whose quorum already
+        completed, a timed-out primary is still chained to a fallback (or
+        covered by a coordinator-held hint), so the write keeps moving toward
+        all N replica homes.
+        """
+        pending = self._pending.get(coordination_id)
+        if pending is None:
+            return
+        pending.deadlines.pop(replica_id, None)
+        if replica_id in pending.replied_nodes:
+            self._cleanup_if_settled(coordination_id, pending)
+            return
+        pending.timed_out.append(replica_id)
+        # The primary this contact was (transitively) standing in for.
+        primary = pending.standing_in.get(replica_id, replica_id)
+        extend = self.cluster.quorum.sloppy and (pending.kind == "put" or not pending.done)
+        if extend:
+            candidates = self.cluster.placement.fallbacks_for(pending.key,
+                                                              exclude=pending.tried)
+            fallback = candidates[0] if candidates else None
+            if fallback is not None:
+                self._send_async_replica_request(coordination_id, pending, fallback,
+                                                 hint_for=primary if pending.kind == "put" else None)
+                return
+        # Strict quorum (or ring exhausted): hold the write locally so the
+        # primary still converges once it is reachable again.
+        if (pending.kind == "put" and self.cluster.hinted_handoff_enabled
+                and primary != self.node_id):
+            self.node.store_hint(primary, pending.key, pending.new_state)
+        if not pending.done:
+            possible = len(pending.replies) + len(pending.deadlines)
+            if possible < pending.needed:
+                self._fail_request(coordination_id, reason="quorum_unreachable")
+                return
+        self._cleanup_if_settled(coordination_id, pending)
+
+    def _on_request_deadline(self, coordination_id: int) -> None:
+        pending = self._pending.get(coordination_id)
+        if pending is None or pending.done:
+            return
+        # This handle just fired; clear it so _fail_request's timer sweep
+        # does not also report it as cancelled.
+        pending.request_deadline = None
+        self._fail_request(coordination_id, reason="request_timeout")
+
+    def _fail_request(self, coordination_id: int, reason: str) -> None:
+        """Answer the client with ERROR_REPLY and drop the coordination state.
+
+        The coordinator's local write (and any hints already held) stay in
+        place — a failed quorum write may still be partially applied, exactly
+        as in Dynamo; anti-entropy and hint replay eventually spread it.
+        """
+        pending = self._pending.pop(coordination_id, None)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        self._cancel_pending_timers(pending)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=pending.client_address,
+            msg_type=MessageType.ERROR_REPLY,
+            payload={"key": pending.key, "operation": pending.kind,
+                     "reason": reason, "coordinator": self.node_id},
+            size_bytes=self.cluster.request_overhead_bytes,
+            request_id=pending.request_id,
+        ))
+
+    def _cancel_pending_timers(self, pending: _PendingCoordination) -> None:
+        for handle in pending.deadlines.values():
+            self.cluster.transport.cancel_deadline(handle)
+        pending.deadlines.clear()
+        self.cluster.transport.cancel_deadline(pending.request_deadline)
+        pending.request_deadline = None
+
     def _on_replica_put(self, message: Message) -> None:
         key = message.payload["key"]
+        # Sloppy-quorum handoff: a fallback accepting a write on behalf of a
+        # timed-out primary also persists a hint naming that primary, so the
+        # handoff daemon can return the data once the primary is back.
+        hint_for = message.payload.get("hint_for")
+        if (hint_for is not None and hint_for != self.node_id
+                and self.cluster.hinted_handoff_enabled):
+            self.node.store_hint(hint_for, key, message.payload["state"])
         self.node.local_merge(key, message.payload["state"])
         self.cluster.transport.send(Message(
             sender=self.node_id,
@@ -394,10 +646,18 @@ class MessageServer:
     def _on_replica_put_ack(self, message: Message) -> None:
         coordination_id = message.payload["coordination_id"]
         pending = self._pending.get(coordination_id)
-        if pending is None or pending.done or pending.kind != "put":
+        if pending is None or pending.kind != "put":
+            return
+        if message.sender in pending.replied_nodes:
+            return  # duplicate delivery
+        self.cluster.transport.cancel_deadline(pending.deadlines.pop(message.sender, None))
+        pending.replied_nodes.append(message.sender)
+        if pending.done:
+            # A slow replica (or handoff fallback) acked after the quorum was
+            # already answered — nothing left to do beyond its bookkeeping.
+            self._cleanup_if_settled(coordination_id, pending)
             return
         pending.replies.append((message.sender, True))
-        pending.replied_nodes.append(message.sender)
         self._maybe_finish_put(coordination_id)
 
     def _maybe_finish_put(self, coordination_id: int) -> None:
@@ -407,6 +667,12 @@ class MessageServer:
         if len(pending.replies) < pending.needed:
             return
         pending.done = True
+        # Only the overall request deadline is disarmed: replicas still
+        # outstanding keep their deadlines, so a primary that never acks is
+        # still handed off (fallback + hint) even though the client has its
+        # answer — Dynamo keeps pushing the write toward all N homes.
+        self.cluster.transport.cancel_deadline(pending.request_deadline)
+        pending.request_deadline = None
         read = self.mechanism.read(self.node.state_of(pending.key))
         context_bytes = self.mechanism.context_bytes(read.context)
         self.cluster.transport.send(Message(
@@ -424,7 +690,13 @@ class MessageServer:
             size_bytes=context_bytes + self.cluster.request_overhead_bytes,
             request_id=pending.request_id,
         ))
-        self._pending.pop(coordination_id, None)
+        self._cleanup_if_settled(coordination_id, pending)
+
+    def _cleanup_if_settled(self, coordination_id: int,
+                            pending: _PendingCoordination) -> None:
+        """Drop a finished coordination once no replica deadline is armed."""
+        if pending.done and not pending.deadlines:
+            self._pending.pop(coordination_id, None)
 
     # ------------------------------------------------------------------ #
     # Read repair / anti-entropy
@@ -704,6 +976,7 @@ class SimulatedClient:
         self._callbacks: Dict[int, Callable] = {}
         self._started: Dict[int, float] = {}
         self._operations: Dict[int, Dict[str, Any]] = {}
+        self._deadlines: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------ #
     # Message handling
@@ -714,22 +987,23 @@ class SimulatedClient:
             self._on_get_reply(message)
         elif message.msg_type is MessageType.PUT_REPLY:
             self._on_put_reply(message)
+        elif message.msg_type is MessageType.ERROR_REPLY:
+            self._on_error_reply(message)
 
     # ------------------------------------------------------------------ #
     # Issuing requests
     # ------------------------------------------------------------------ #
     def get(self, key: str, callback: Optional[Callable[[GetResult], None]] = None) -> None:
-        """Issue a GET for ``key``; ``callback`` fires when the reply arrives."""
-        coordinator = self.cluster.placement.coordinator_for(key)
-        message = Message(
-            sender=self.address,
-            receiver=coordinator,
-            msg_type=MessageType.COORDINATE_GET,
-            payload={"key": key},
-            size_bytes=self.cluster.request_overhead_bytes,
-        )
-        self._register(message, "get", key, callback)
-        self.cluster.transport.send(message)
+        """Issue a GET for ``key``; ``callback`` fires when the reply arrives.
+
+        In async request mode a failed request (coordinator candidates
+        exhausted, or an ``ERROR_REPLY``) invokes the callback with ``None``
+        and records an ``ok=False`` :class:`RequestRecord`.
+        """
+        self._issue(MessageType.COORDINATE_GET, "get", key,
+                    payload={"key": key},
+                    size_bytes=self.cluster.request_overhead_bytes,
+                    callback=callback)
 
     def put(self,
             key: str,
@@ -737,27 +1011,55 @@ class SimulatedClient:
             callback: Optional[Callable[[PutResult], None]] = None,
             use_context: bool = True) -> None:
         """Issue a PUT for ``key``; ``callback`` fires when the reply arrives."""
-        coordinator = self.cluster.placement.coordinator_for(key)
         context = self.session.last_context(key) if use_context else None
         sibling = self.session.prepare_write(key, value, context)
         context_bytes = (
             self.cluster.mechanism.context_bytes(context.mechanism_context)
             if context is not None else 0
         )
+        self._issue(MessageType.COORDINATE_PUT, "put", key,
+                    payload={
+                        "key": key,
+                        "sibling": sibling,
+                        "context": context,
+                        "client_id": self.client_id,
+                    },
+                    size_bytes=default_value_size(value) + context_bytes
+                    + self.cluster.request_overhead_bytes,
+                    callback=callback)
+
+    def _issue(self, msg_type: MessageType, operation: str, key: str,
+               payload: Dict[str, Any], size_bytes: int,
+               callback: Optional[Callable]) -> None:
+        """Send a request to the first coordinator candidate.
+
+        In membership mode the single candidate is the placement service's
+        coordinator (first *active* replica).  In async mode the candidate
+        list is the full extended preference list, walked with a client-side
+        deadline per attempt: an unresponsive coordinator is failed over, and
+        exhausting the list records the request as failed.
+        """
+        if self.cluster.request_mode == "async":
+            candidates = self.cluster.placement.extended_preference_list(key)
+        else:
+            candidates = [self.cluster.placement.coordinator_for(key)]
         message = Message(
             sender=self.address,
-            receiver=coordinator,
-            msg_type=MessageType.COORDINATE_PUT,
-            payload={
-                "key": key,
-                "sibling": sibling,
-                "context": context,
-                "client_id": self.client_id,
-            },
-            size_bytes=default_value_size(value) + context_bytes
-            + self.cluster.request_overhead_bytes,
+            receiver=candidates[0],
+            msg_type=msg_type,
+            payload=payload,
+            size_bytes=size_bytes,
         )
-        self._register(message, "put", key, callback)
+        self._register(message, operation, key, callback)
+        self._operations[message.msg_id].update({
+            "candidates": candidates,
+            "attempt": 0,
+            "msg_type": msg_type,
+            "payload": payload,
+            "size_bytes": size_bytes,
+        })
+        if self.cluster.request_mode == "async":
+            self._arm_client_deadline(message.msg_id)
         self.cluster.transport.send(message)
 
     def _register(self, message: Message, operation: str, key: str,
@@ -765,6 +1067,76 @@ class SimulatedClient:
         self._callbacks[message.msg_id] = callback
         self._started[message.msg_id] = self.cluster.simulation.now
         self._operations[message.msg_id] = {"operation": operation, "key": key}
+
+    def _arm_client_deadline(self, request_id: int) -> None:
+        self._deadlines[request_id] = self.cluster.transport.schedule_deadline(
+            self.cluster.client_timeout_ms,
+            lambda: self._on_client_deadline(request_id),
+            label=f"client-deadline:{self.client_id}",
+        )
+
+    def _on_client_deadline(self, request_id: int) -> None:
+        """No reply at all: fail over to the next candidate, or give up."""
+        info = self._operations.get(request_id)
+        self._deadlines.pop(request_id, None)
+        if info is None:
+            return  # a reply won the race
+        attempt = info["attempt"] + 1
+        candidates = info["candidates"]
+        if attempt >= len(candidates):
+            self._finish_failed(request_id, reason="timeout")
+            return
+        # Re-send the same logical request (same payload/sibling) to the next
+        # candidate coordinator.  At-least-once caveat: if the silent
+        # coordinator actually applied the put and only its reply was lost,
+        # the retry's coordinator mints a second server-side dot over the
+        # same causal past, and the value can survive as a duplicate sibling
+        # — the standard Dynamo client-retry trade-off; nothing is lost.
+        self._operations.pop(request_id, None)
+        callback = self._callbacks.pop(request_id, None)
+        started = self._started.pop(request_id, self.cluster.simulation.now)
+        message = Message(
+            sender=self.address,
+            receiver=candidates[attempt],
+            msg_type=info["msg_type"],
+            payload=info["payload"],
+            size_bytes=info["size_bytes"],
+        )
+        self._callbacks[message.msg_id] = callback
+        self._started[message.msg_id] = started
+        retried = dict(info)
+        retried["attempt"] = attempt
+        self._operations[message.msg_id] = retried
+        self._arm_client_deadline(message.msg_id)
+        self.cluster.transport.send(message)
+
+    def _finish_failed(self, request_id: int, reason: str, coordinator: str = "") -> None:
+        info = self._operations.pop(request_id, None)
+        if info is None:
+            return
+        callback = self._callbacks.pop(request_id, None)
+        started = self._started.pop(request_id, self.cluster.simulation.now)
+        self.cluster.transport.cancel_deadline(self._deadlines.pop(request_id, None))
+        self.records.append(RequestRecord(
+            operation=info["operation"],
+            key=info["key"],
+            client_id=self.client_id,
+            started_at=started,
+            finished_at=self.cluster.simulation.now,
+            ok=False,
+            coordinator=coordinator,
+            error=reason,
+        ))
+        if callback is not None:
+            callback(None)
+
+    def _on_error_reply(self, message: Message) -> None:
+        """The coordinator gave up (quorum infeasible / request deadline)."""
+        self._finish_failed(
+            message.request_id,
+            reason=message.payload.get("reason", "error"),
+            coordinator=message.payload.get("coordinator", ""),
+        )
 
     # ------------------------------------------------------------------ #
     # Handling replies
@@ -774,6 +1146,7 @@ class SimulatedClient:
         info = self._operations.pop(request_id, None)
         if info is None:
             return
+        self.cluster.transport.cancel_deadline(self._deadlines.pop(request_id, None))
         callback = self._callbacks.pop(request_id, None)
         started = self._started.pop(request_id, self.cluster.simulation.now)
         key = message.payload["key"]
@@ -806,6 +1179,7 @@ class SimulatedClient:
         info = self._operations.pop(request_id, None)
         if info is None:
             return
+        self.cluster.transport.cancel_deadline(self._deadlines.pop(request_id, None))
         callback = self._callbacks.pop(request_id, None)
         started = self._started.pop(request_id, self.cluster.simulation.now)
         key = message.payload["key"]
@@ -869,6 +1243,17 @@ class SimulatedCluster:
     hint_replay_interval_ms:
         Period of the hinted-handoff replay daemon (None disables hinted
         handoff entirely — no hints are stored).
+    request_mode:
+        ``"membership"`` (default) — coordinators consult the membership
+        view's failure detector; ``"async"`` — coordinators fan out with
+        per-replica deadlines and, under a sloppy quorum, extend to fallback
+        nodes that hold hints for timed-out primaries.
+    replica_timeout_ms / request_timeout_ms:
+        Async mode deadlines: how long a coordinator waits for one replica's
+        ack before extending/abandoning it, and how long a whole request may
+        take before the coordinator answers ``ERROR_REPLY``.  Clients wait
+        ``client_timeout_ms`` (1.5 × the request timeout by default) before
+        failing over to the next candidate coordinator.
     sync_batch_size:
         Keys per MERKLE_KEY_STATES / HINT_REPLAY / KEY_HANDOFF message.
     merkle_fanout / merkle_depth:
@@ -886,6 +1271,10 @@ class SimulatedCluster:
                  anti_entropy_interval_ms: Optional[float] = 100.0,
                  anti_entropy_strategy: str = "merkle",
                  hint_replay_interval_ms: Optional[float] = 50.0,
+                 request_mode: str = "membership",
+                 replica_timeout_ms: float = 10.0,
+                 request_timeout_ms: float = 50.0,
+                 client_timeout_ms: Optional[float] = None,
                  sync_batch_size: int = 16,
                  merkle_fanout: int = 16,
                  merkle_depth: int = 2,
@@ -898,6 +1287,12 @@ class SimulatedCluster:
                 f"unknown anti-entropy strategy {anti_entropy_strategy!r}; "
                 f"choose from {ANTI_ENTROPY_STRATEGIES}"
             )
+        if request_mode not in REQUEST_MODES:
+            raise ConfigurationError(
+                f"unknown request mode {request_mode!r}; choose from {REQUEST_MODES}"
+            )
+        if replica_timeout_ms <= 0 or request_timeout_ms <= 0:
+            raise ConfigurationError("async timeouts must be positive")
         if sync_batch_size < 1:
             raise ConfigurationError(f"sync_batch_size must be >= 1, got {sync_batch_size}")
         self.mechanism = mechanism
@@ -918,6 +1313,11 @@ class SimulatedCluster:
         self.placement = PlacementService(self.ring, self.membership, self.quorum)
         self.write_log = WriteLog()
         self.request_overhead_bytes = request_overhead_bytes
+        self.request_mode = request_mode
+        self.replica_timeout_ms = replica_timeout_ms
+        self.request_timeout_ms = request_timeout_ms
+        self.client_timeout_ms = (client_timeout_ms if client_timeout_ms is not None
+                                  else request_timeout_ms * 1.5)
         self.anti_entropy_strategy = anti_entropy_strategy
         self.sync_batch_size = sync_batch_size
         self.merkle_fanout = merkle_fanout
@@ -1014,9 +1414,12 @@ class SimulatedCluster:
     def recover_node(self, server_id: str, wipe: bool = False) -> None:
         """Bring a crashed server back.
 
-        With ``wipe=False`` the pre-crash state is retained (process restart);
-        with ``wipe=True`` the node rejoins with empty storage (disk loss) and
-        must be repopulated by hint replay and anti-entropy.
+        With ``wipe=False`` the pre-crash state is retained (process restart)
+        — including any hints the node was holding for others, which are
+        persisted in the storage layer and resume replaying; with
+        ``wipe=True`` the node rejoins with empty storage (disk loss), losing
+        both its key states and its held hints, and must be repopulated by
+        other nodes' hint replays and anti-entropy.
         """
         server = self.servers[server_id]
         if wipe:

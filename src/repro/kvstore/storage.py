@@ -1,26 +1,54 @@
 """Per-node versioned storage.
 
 Each storage node keeps, per key, the mechanism-specific state describing the
-key's live sibling versions.  The backend is a plain dictionary — durability
-is out of scope for the reproduction — but the interface mirrors what the
-metadata experiments need: besides get/put of states it can report, per key
-and in aggregate, how many metadata entries and encoded bytes the causality
-mechanism is holding (experiment E2's storage-footprint series).
+key's live sibling versions.  The backend is a plain dictionary — a stand-in
+for the node's disk: anything kept here survives a process restart of the
+node, and is lost only when the disk itself is wiped (``recover_node(...,
+wipe=True)`` replaces the :class:`NodeStorage` wholesale).  Besides get/put
+of states it can report, per key and in aggregate, how many metadata entries
+and encoded bytes the causality mechanism is holding (experiment E2's
+storage-footprint series).
+
+Outstanding hinted-handoff hints also live here, *in the storage layer*,
+because a hint is a durable obligation: the held write is the only copy a
+crashed primary will ever get back, so a coordinator (or sloppy-quorum
+fallback) crashing and restarting must still replay it.  Keeping hints next
+to the key states gives them exactly the disk's fate — a restart keeps them,
+a wipe loses them.
 """
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..clocks.interface import CausalityMechanism
 
 
+@dataclass
+class Hint:
+    """A write held for an unreachable replica (hinted handoff).
+
+    ``target_id`` names the intended primary the held state must eventually
+    be replayed to.  In the async request mode the holder may be a
+    sloppy-quorum fallback node rather than the write's coordinator.
+    """
+
+    hint_id: int
+    target_id: str
+    key: str
+    state: Any
+
+
 class NodeStorage:
-    """The key → mechanism-state map of one storage node."""
+    """The key → mechanism-state map (plus durable hints) of one storage node."""
 
     def __init__(self, mechanism: CausalityMechanism) -> None:
         self._mechanism = mechanism
         self._states: Dict[str, Any] = {}
+        self._hints: Dict[str, List[Hint]] = {}
+        self._hint_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     # State access
@@ -65,6 +93,39 @@ class NodeStorage:
 
     def __contains__(self, key: str) -> bool:
         return key in self._states
+
+    # ------------------------------------------------------------------ #
+    # Durable hints (hinted handoff)
+    # ------------------------------------------------------------------ #
+    def store_hint(self, target_id: str, key: str, state: Any) -> Hint:
+        """Persist a held write destined for ``target_id``."""
+        hint = Hint(next(self._hint_ids), target_id, key, state)
+        self._hints.setdefault(target_id, []).append(hint)
+        return hint
+
+    def hints_for(self, target_id: str) -> List[Hint]:
+        """The outstanding hints destined for ``target_id`` (oldest first)."""
+        return list(self._hints.get(target_id, []))
+
+    def hint_targets(self) -> List[str]:
+        """Node ids with at least one outstanding hint, sorted."""
+        return sorted(target for target, hints in self._hints.items() if hints)
+
+    def pending_hints(self) -> int:
+        """Total outstanding hints across all targets."""
+        return sum(len(hints) for hints in self._hints.values())
+
+    def clear_hints(self, target_id: str, hint_ids: Optional[List[int]] = None) -> None:
+        """Drop acknowledged hints (all of a target's when ``hint_ids`` is None)."""
+        if hint_ids is None:
+            self._hints.pop(target_id, None)
+            return
+        remaining = [hint for hint in self._hints.get(target_id, ())
+                     if hint.hint_id not in set(hint_ids)]
+        if remaining:
+            self._hints[target_id] = remaining
+        else:
+            self._hints.pop(target_id, None)
 
     # ------------------------------------------------------------------ #
     # Metadata accounting

@@ -26,7 +26,16 @@ MessageHandler = Callable[[Message], None]
 
 @dataclass
 class TransportStats:
-    """Counters the transport maintains for analysis and debugging."""
+    """Counters the transport maintains for analysis and debugging.
+
+    Byte accounting distinguishes *attempted* traffic (``bytes_sent``, every
+    message handed to the transport) from *delivered* and *dropped* traffic.
+    Messages eaten by a partition, a lossy link or a crashed/unregistered
+    receiver count toward ``bytes_dropped``, never ``bytes_delivered``, so
+    byte-series built from :meth:`bytes_for` no longer over-report traffic
+    that never reached a handler.  A duplicated message that arrives twice is
+    counted as delivered twice — it really did cross the wire twice.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -35,15 +44,39 @@ class TransportStats:
     dropped_unknown_destination: int = 0
     duplicated: int = 0
     bytes_sent: int = 0
+    bytes_delivered: int = 0
+    bytes_dropped: int = 0
+    deadlines_set: int = 0
+    deadlines_fired: int = 0
+    deadlines_cancelled: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
     bytes_per_type: Dict[str, int] = field(default_factory=dict)
+    delivered_bytes_per_type: Dict[str, int] = field(default_factory=dict)
+    dropped_bytes_per_type: Dict[str, int] = field(default_factory=dict)
 
     def record_type(self, msg_type: str, size_bytes: int = 0) -> None:
         self.per_type[msg_type] = self.per_type.get(msg_type, 0) + 1
         self.bytes_per_type[msg_type] = self.bytes_per_type.get(msg_type, 0) + size_bytes
 
+    def record_delivered(self, msg_type: str, size_bytes: int = 0) -> None:
+        self.delivered += 1
+        self.bytes_delivered += size_bytes
+        self.delivered_bytes_per_type[msg_type] = (
+            self.delivered_bytes_per_type.get(msg_type, 0) + size_bytes
+        )
+
+    def record_dropped(self, msg_type: str, size_bytes: int = 0) -> None:
+        self.bytes_dropped += size_bytes
+        self.dropped_bytes_per_type[msg_type] = (
+            self.dropped_bytes_per_type.get(msg_type, 0) + size_bytes
+        )
+
     def bytes_for(self, *msg_types: str) -> int:
-        """Total bytes sent across the given message types."""
+        """Total bytes *delivered* across the given message types."""
+        return sum(self.delivered_bytes_per_type.get(msg_type, 0) for msg_type in msg_types)
+
+    def attempted_bytes_for(self, *msg_types: str) -> int:
+        """Total bytes handed to the transport for the given message types."""
         return sum(self.bytes_per_type.get(msg_type, 0) for msg_type in msg_types)
 
 
@@ -122,13 +155,16 @@ class Transport:
 
         if not self.partitions.can_communicate(message.sender, message.receiver):
             self.stats.dropped_partition += 1
+            self.stats.record_dropped(message.msg_type.value, message.size_bytes)
             return
         if message.receiver not in self._handlers:
             self.stats.dropped_unknown_destination += 1
+            self.stats.record_dropped(message.msg_type.value, message.size_bytes)
             return
         rng = self.simulation.rng
         if self.loss_probability and rng.random() < self.loss_probability:
             self.stats.dropped_loss += 1
+            self.stats.record_dropped(message.msg_type.value, message.size_bytes)
             return
 
         delay = self._sample_delay(message)
@@ -149,10 +185,41 @@ class Transport:
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.receiver)
         if handler is None:
+            # Receiver crashed (deregistered) between send and delivery.
             self.stats.dropped_unknown_destination += 1
+            self.stats.record_dropped(message.msg_type.value, message.size_bytes)
             return
-        self.stats.delivered += 1
+        self.stats.record_delivered(message.msg_type.value, message.size_bytes)
         handler(message)
+
+    # ------------------------------------------------------------------ #
+    # Deadlines (async request mode)
+    # ------------------------------------------------------------------ #
+    def schedule_deadline(self, delay_ms: float, callback: Callable[[], None],
+                          label: str = "deadline"):
+        """Schedule a timeout callback ``delay_ms`` from now.
+
+        This is the timer primitive of the async request mode: coordinators
+        and clients arm a deadline per outstanding request (or per replica
+        fan-out) and treat its firing as the failure signal, instead of
+        consulting the membership view's failure detector.  Returns an event
+        handle; pass it to :meth:`cancel_deadline` when the awaited reply
+        arrives first.
+        """
+        self.stats.deadlines_set += 1
+
+        def fire() -> None:
+            self.stats.deadlines_fired += 1
+            callback()
+
+        return self.simulation.schedule(delay_ms, fire, label=label)
+
+    def cancel_deadline(self, handle) -> None:
+        """Disarm a deadline (idempotent; None is tolerated for convenience)."""
+        if handle is None or handle.cancelled:
+            return
+        self.stats.deadlines_cancelled += 1
+        handle.cancel()
 
     # ------------------------------------------------------------------ #
     # Diagnostics

@@ -275,6 +275,8 @@ class ChurnReport:
     departed: List[str] = field(default_factory=list)
     handoff_keys: int = 0
     requests_completed: int = 0
+    requests_failed: int = 0
+    quorum_mode: str = ""
     final_values: Dict[str, List[str]] = field(default_factory=dict)
     stats: Dict[str, int] = field(default_factory=dict)
     sync_bytes: int = 0
@@ -292,7 +294,9 @@ def _finish_churn_run(cluster, report: "ChurnReport", max_rounds: int = 40) -> "
         report.convergence_rounds = max_rounds
     report.converged = cluster.is_converged()
     report.final_servers = sorted(cluster.servers)
-    report.requests_completed = len(cluster.all_request_records())
+    records = cluster.all_request_records()
+    report.requests_completed = sum(1 for record in records if record.ok)
+    report.requests_failed = sum(1 for record in records if not record.ok)
     for key in cluster.key_universe():
         any_server = next(iter(cluster.servers.values()))
         report.final_values[key] = sorted(map(repr, any_server.node.values_of(key)))
@@ -306,6 +310,7 @@ def run_elasticity_scenario(mechanism: CausalityMechanism,
                             duration_ms: float = 400.0,
                             keys: int = 6,
                             clients: int = 4,
+                            quorum_mode: str = "sloppy",
                             anti_entropy_strategy: str = "merkle") -> ChurnReport:
     """Elastic cluster under load: two nodes join and one leaves mid-run.
 
@@ -323,14 +328,15 @@ def run_elasticity_scenario(mechanism: CausalityMechanism,
     cluster = SimulatedCluster(
         mechanism,
         server_ids=("n1", "n2", "n3"),
-        quorum=QuorumConfig(n=3, r=2, w=2),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
         latency=FixedLatency(0.5),
         anti_entropy_interval_ms=25.0,
         anti_entropy_strategy=anti_entropy_strategy,
         hint_replay_interval_ms=40.0,
         seed=seed,
     )
-    report = ChurnReport(scenario="elasticity", mechanism=mechanism.name)
+    report = ChurnReport(scenario="elasticity", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode)
 
     def do_join(node_id: str) -> None:
         report.handoff_keys += cluster.join_node(node_id)
@@ -362,6 +368,7 @@ def run_flappy_replica_scenario(mechanism: CausalityMechanism,
                                 clients: int = 4,
                                 flaps: int = 3,
                                 wipe_on_recover: bool = False,
+                                quorum_mode: str = "sloppy",
                                 anti_entropy_strategy: str = "merkle") -> ChurnReport:
     """A replica repeatedly crashes and recovers while writes keep flowing.
 
@@ -378,14 +385,15 @@ def run_flappy_replica_scenario(mechanism: CausalityMechanism,
     cluster = SimulatedCluster(
         mechanism,
         server_ids=("n1", "n2", "n3"),
-        quorum=QuorumConfig(n=3, r=2, w=2),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
         latency=FixedLatency(0.5),
         anti_entropy_interval_ms=30.0,
         anti_entropy_strategy=anti_entropy_strategy,
         hint_replay_interval_ms=25.0,
         seed=seed,
     )
-    report = ChurnReport(scenario="flappy_replica", mechanism=mechanism.name)
+    report = ChurnReport(scenario="flappy_replica", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode)
     victim = "n3"
     period = duration_ms / (flaps + 1)
     for flap in range(flaps):
@@ -410,9 +418,83 @@ def run_flappy_replica_scenario(mechanism: CausalityMechanism,
     return _finish_churn_run(cluster, report)
 
 
+def run_sloppy_partition_scenario(mechanism: CausalityMechanism,
+                                  seed: int = 13,
+                                  duration_ms: float = 400.0,
+                                  keys: int = 4,
+                                  clients: int = 4,
+                                  quorum_mode: str = "sloppy",
+                                  anti_entropy_strategy: str = "merkle") -> ChurnReport:
+    """Availability under partition with deadline-driven (async) coordination.
+
+    A five-server cluster (N=3, R=W=2) runs a closed-loop workload in
+    **async request mode**: coordinators fan out with per-replica deadlines
+    instead of consulting the membership view.  Mid-run, two of the first
+    key's three primary replicas are partitioned off together; coordinators
+    on the majority side can then only assemble W=2 by extending the
+    preference list to sloppy-quorum fallback nodes (``quorum_mode="sloppy"``)
+    — with ``"strict"`` those writes fail with ``quorum_unreachable``.  After
+    the partition heals, fallback-held hints replay to the primaries and
+    anti-entropy must converge every replica.  The report's
+    ``requests_completed`` / ``requests_failed`` split is the availability
+    measurement the strict-vs-sloppy benchmark series compares.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import FixedLatency
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=("n1", "n2", "n3", "n4", "n5"),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=50.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=25.0,
+        request_mode="async",
+        replica_timeout_ms=6.0,
+        request_timeout_ms=30.0,
+        seed=seed,
+    )
+    report = ChurnReport(scenario="sloppy_partition", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode)
+
+    # Cut two primaries of the first workload key off together: the key's
+    # coordinator keeps serving from the majority side, where a strict W=2
+    # is unreachable but a sloppy one is not.
+    key_names = tuple(f"key-{index}" for index in range(keys))
+    primaries = cluster.placement.primary_replicas(key_names[0])
+    minority = set(primaries[1:3])
+    majority = {server for server in cluster.servers if server not in minority}
+
+    cluster.simulation.schedule(
+        duration_ms * 0.25,
+        lambda: cluster.partitions.partition(minority, majority),
+        label="sloppy-partition:cut",
+    )
+    cluster.simulation.schedule(
+        duration_ms * 0.75,
+        lambda: cluster.partitions.heal(),
+        label="sloppy-partition:heal",
+    )
+
+    config = ClosedLoopConfig(
+        keys=key_names,
+        think_time_ms=4.0,
+        write_fraction=0.6,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config)
+    cluster.partitions.heal()
+    report.cluster = cluster
+    return _finish_churn_run(cluster, report)
+
+
 CHURN_SCENARIOS = {
     "elasticity": run_elasticity_scenario,
     "flappy_replica": run_flappy_replica_scenario,
+    "sloppy_partition": run_sloppy_partition_scenario,
 }
 
 

@@ -140,3 +140,25 @@ class TestPlacementService:
         description = placement.describe(key)
         assert description["coordinator"] == primary[0]
         assert description["primary"] == primary
+        assert description["extended"][:len(primary)] == primary
+
+    def test_extended_preference_list_walks_whole_ring(self):
+        placement, _ = self.make()
+        extended = placement.extended_preference_list("key")
+        assert sorted(extended) == ["A", "B", "C", "D"]
+        # Primaries come first, in ring order.
+        assert extended[:3] == placement.primary_replicas("key")
+
+    def test_extended_preference_list_ignores_membership(self):
+        """Async mode discovers failures by deadline, not by the detector."""
+        placement, membership = self.make()
+        primary = placement.primary_replicas("key")
+        membership.mark_down(primary[0])
+        assert placement.extended_preference_list("key")[:3] == primary
+
+    def test_fallbacks_exclude_contacted_nodes(self):
+        placement, _ = self.make()
+        extended = placement.extended_preference_list("key")
+        fallbacks = placement.fallbacks_for("key", exclude=extended[:3])
+        assert fallbacks == extended[3:]
+        assert placement.fallbacks_for("key", exclude=extended) == []

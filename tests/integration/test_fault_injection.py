@@ -187,7 +187,9 @@ class TestPartitionHealingMidAntiEntropy:
 
 
 class TestCoordinatorCrashWithHints:
-    def test_hints_die_with_coordinator_but_cluster_recovers(self):
+    def test_hints_survive_coordinator_restart_and_replay(self):
+        """Hints are persisted in the storage layer: a coordinator crash no
+        longer silently loses them — replay resumes after the restart."""
         cluster = build_quiet_cluster(hint_replay_interval_ms=30.0)
         keys = ["h1", "h2", "h3"]
         client = seed_keys(cluster, keys)
@@ -204,15 +206,52 @@ class TestCoordinatorCrashWithHints:
                           for server in cluster.servers.values())
         assert total_hints >= len(keys)
 
-        # Crash every coordinator holding hints: in-memory hints are lost.
+        # Crash every coordinator holding hints, then restart them: the
+        # persisted hints are still there afterwards.
         for holder in holders:
             cluster.fail_node(holder)
         cluster.run(until=cluster.simulation.now + 10.0)
-
-        # Everyone comes back; anti-entropy (not hints) must converge them.
-        cluster.recover_node("n3")
         for holder in holders:
             cluster.recover_node(holder)
+            assert cluster.servers[holder].node.pending_hints() > 0
+
+        # The victim comes back; the restarted holders' hints replay to it.
+        cluster.recover_node("n3")
+        cluster.run(until=cluster.simulation.now + 90.0)
+        assert cluster.servers["n3"].node.stats["hint_replays"] >= len(keys)
+        assert sum(server.node.pending_hints()
+                   for server in cluster.servers.values()) == 0
+        for key in keys:
+            assert f"{key}-while-down" in map(str, cluster.servers["n3"].node.values_of(key))
+
+        cluster.converge(max_rounds=20)
+        assert cluster.is_converged()
+
+    def test_wiped_holder_loses_hints_but_cluster_recovers(self):
+        """A disk wipe on the holder loses the hints with the disk; the write
+        still survives on the holder's peers and anti-entropy converges."""
+        cluster = build_quiet_cluster(hint_replay_interval_ms=30.0)
+        keys = ["h1", "h2"]
+        client = seed_keys(cluster, keys)
+
+        cluster.fail_node("n3")
+        for key in keys:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-while-down"))
+        cluster.run(until=cluster.simulation.now + 25.0)
+        holders = [server_id for server_id, server in cluster.servers.items()
+                   if server.node.pending_hints() > 0]
+        assert holders
+
+        # Wipe one holder's disk: its hints go with it.  The write itself
+        # survives on the other live replica (W=2 reached it), so healing
+        # still converges everyone onto the while-down values.
+        wiped = holders[0]
+        cluster.fail_node(wiped)
+        cluster.run(until=cluster.simulation.now + 10.0)
+        cluster.recover_node(wiped, wipe=True)
+        assert cluster.servers[wiped].node.pending_hints() == 0
+
+        cluster.recover_node("n3")
         cluster.converge(max_rounds=20)
         assert cluster.is_converged()
         for key in keys:
@@ -220,6 +259,114 @@ class TestCoordinatorCrashWithHints:
                       for server in cluster.servers.values()}
             assert len(values) == 1
             assert f"{key}-while-down" in values.pop()
+
+
+def build_async_cluster(mechanism_name="dvv", sloppy=True, seed=7, **kwargs):
+    """A five-server cluster in async (deadline-driven) request mode."""
+    kwargs.setdefault("server_ids", ("n1", "n2", "n3", "n4", "n5"))
+    kwargs.setdefault("latency", FixedLatency(0.5))
+    kwargs.setdefault("anti_entropy_interval_ms", None)
+    kwargs.setdefault("hint_replay_interval_ms", 25.0)
+    kwargs.setdefault("replica_timeout_ms", 6.0)
+    kwargs.setdefault("request_timeout_ms", 30.0)
+    return SimulatedCluster(
+        create(mechanism_name),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=sloppy),
+        request_mode="async",
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestSloppyQuorumWrites:
+    """Acceptance criterion: with a primary partitioned away, sloppy mode
+    completes W=2 writes that strict mode fails, and after healing all
+    replicas converge to the same sibling set."""
+
+    @pytest.mark.parametrize("mechanism_name", ["dvv", "dvvset"])
+    def test_sloppy_completes_what_strict_fails(self, mechanism_name):
+        outcomes = {}
+        for sloppy in (True, False):
+            cluster = build_async_cluster(mechanism_name, sloppy=sloppy)
+            key = "contested"
+            client = cluster.client("writer")
+            client.put(key, "base")
+            cluster.run(until=cluster.simulation.now + 20.0)
+
+            # Cut two of the key's three primaries off together; the
+            # coordinator stays on the majority side with the client.
+            primaries = cluster.placement.primary_replicas(key)
+            minority = set(primaries[1:3])
+            majority = {server for server in cluster.servers
+                        if server not in minority}
+            cluster.partitions.partition(minority, majority)
+
+            client.get(key, lambda _r: client.put(key, "during-partition"))
+            cluster.run(until=cluster.simulation.now + 300.0)
+            put_records = [record for record in client.records
+                           if record.operation == "put"][1:]
+            assert put_records, "the partitioned write never finished"
+            outcomes[sloppy] = (cluster, put_records[-1])
+
+        sloppy_cluster, sloppy_record = outcomes[True]
+        strict_cluster, strict_record = outcomes[False]
+        assert sloppy_record.ok, "sloppy mode should complete the W=2 write"
+        assert not strict_record.ok, "strict mode should fail the W=2 write"
+        assert strict_record.error in ("quorum_unreachable", "request_timeout")
+
+        # Sloppy mode parked the write on fallback nodes with hints naming
+        # the unreachable primaries.
+        fallback_hints = sum(server.node.pending_hints()
+                             for server in sloppy_cluster.servers.values())
+        assert fallback_hints > 0
+
+        # After healing, hint replay + anti-entropy converge every replica
+        # onto an identical sibling set containing the partitioned write.
+        for cluster, record in ((sloppy_cluster, sloppy_record),
+                                (strict_cluster, strict_record)):
+            cluster.partitions.heal()
+            cluster.run(until=cluster.simulation.now + 100.0)
+            cluster.converge(max_rounds=30)
+            assert cluster.is_converged()
+        reference = None
+        for server_id, server in sorted(sloppy_cluster.servers.items()):
+            values = sorted(map(str, server.node.values_of("contested")))
+            assert "during-partition" in values
+            if reference is None:
+                reference = values
+            else:
+                assert values == reference, f"{server_id} diverged: {values}"
+        assert sum(server.node.pending_hints()
+                   for server in sloppy_cluster.servers.values()) == 0
+
+    def test_fallback_write_reaches_primary_via_hint_replay(self):
+        """The Dynamo loop: fallback accepts with a hint, primary recovers,
+        hint replay returns the data to the primary."""
+        cluster = build_async_cluster("dvv")
+        key = "handoff"
+        client = cluster.client("writer")
+        client.put(key, "base")
+        cluster.run(until=cluster.simulation.now + 20.0)
+
+        primaries = cluster.placement.primary_replicas(key)
+        victim = primaries[1]
+        cluster.fail_node(victim)
+        client.get(key, lambda _r: client.put(key, "hinted"))
+        cluster.run(until=cluster.simulation.now + 100.0)
+
+        holders = {server_id: server.node.hints_for(victim)
+                   for server_id, server in cluster.servers.items()
+                   if server.node.hints_for(victim)}
+        assert holders, "expected a fallback (or the coordinator) to hold a hint"
+        assert all(hint.key == key for hints in holders.values() for hint in hints)
+        assert victim not in holders
+
+        cluster.recover_node(victim)
+        cluster.run(until=cluster.simulation.now + 100.0)
+        assert "hinted" in map(str, cluster.servers[victim].node.values_of(key))
+        assert cluster.servers[victim].node.stats["hint_replays"] >= 1
+        assert sum(server.node.pending_hints()
+                   for server in cluster.servers.values()) == 0
 
 
 class TestHintReplayToWipedNode:

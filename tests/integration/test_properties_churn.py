@@ -138,6 +138,111 @@ class TestConvergenceUnderChurn:
             assert [f"{key}-v2"] == sorted(map(str, cluster.servers["n2"].node.values_of(key)))
 
 
+class TestSloppyQuorumConvergence:
+    """Fault injection for the async request mode: a write that lands *only*
+    on sloppy-quorum fallback nodes must reach the primaries through hint
+    replay once they recover, and every mechanism must converge with no lost
+    update."""
+
+    SERVERS5 = ("n1", "n2", "n3", "n4", "n5")
+
+    def build_async(self, mechanism_name: str, seed: int = 11) -> SimulatedCluster:
+        return SimulatedCluster(
+            create(mechanism_name),
+            server_ids=self.SERVERS5,
+            quorum=QuorumConfig(n=3, r=2, w=2, sloppy=True),
+            latency=FixedLatency(0.5),
+            anti_entropy_interval_ms=None,
+            hint_replay_interval_ms=20.0,
+            request_mode="async",
+            replica_timeout_ms=6.0,
+            request_timeout_ms=30.0,
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("mechanism_name", ["dvv", "dvvset", "causal_history"])
+    def test_write_landing_only_on_fallbacks_survives(self, mechanism_name):
+        cluster = self.build_async(mechanism_name)
+        key = "orphaned"
+        client = cluster.client("writer")
+        client.put(key, "base")
+        settle(cluster)
+        cluster.converge()
+
+        # Crash every primary: the client fails over through the dead
+        # candidates until a fallback coordinates, and the write can only
+        # land on fallback nodes (each holding a hint for a primary).
+        primaries = cluster.placement.primary_replicas(key)
+        for primary in primaries:
+            cluster.fail_node(primary)
+        results = []
+        client.get(key, lambda _r: client.put(key, "fallback-only",
+                                              callback=results.append))
+        cluster.run(until=cluster.simulation.now + 800.0)
+        assert results and results[-1] is not None, "the fallback write failed"
+
+        fallbacks = [server_id for server_id in cluster.servers
+                     if server_id not in primaries]
+        assert any("fallback-only" in map(str, cluster.servers[s].node.values_of(key))
+                   for s in fallbacks)
+        for primary in primaries:
+            assert "fallback-only" not in map(str, cluster.servers[primary].node.values_of(key))
+        # Every crashed primary is covered by a hint somewhere.
+        hinted_targets = set()
+        for server in cluster.servers.values():
+            hinted_targets.update(server.node.hint_targets())
+        assert hinted_targets == set(primaries)
+
+        # Primaries recover; hint replay + anti-entropy must converge all
+        # five replicas with the fallback write intact (no lost update).
+        for primary in primaries:
+            cluster.recover_node(primary)
+        cluster.run(until=cluster.simulation.now + 150.0)
+        cluster.drain()
+        cluster.converge(max_rounds=40)
+        assert_identical_sibling_sets(cluster)
+        for server_id, server in cluster.servers.items():
+            assert "fallback-only" in map(str, server.node.values_of(key)), (
+                f"{mechanism_name}: {server_id} lost the fallback-only write"
+            )
+        assert sum(server.node.pending_hints()
+                   for server in cluster.servers.values()) == 0
+
+    @pytest.mark.parametrize("mechanism_name", ["dvv", "dvvset"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_concurrent_writes_during_partition_all_survive(self, mechanism_name, seed):
+        """Two clients race on the same key from opposite sides of a
+        partition in async mode; DVV/DVVSet must keep both writes."""
+        cluster = self.build_async(mechanism_name, seed=seed)
+        key = "raced"
+        seeder = cluster.client("seeder")
+        seeder.put(key, "base")
+        settle(cluster)
+        cluster.converge()
+
+        alice, bob = cluster.client("alice"), cluster.client("bob")
+        alice.get(key)
+        bob.get(key)
+        settle(cluster)
+
+        primaries = cluster.placement.primary_replicas(key)
+        minority = set(primaries[1:3])
+        majority = {server for server in cluster.servers if server not in minority}
+        cluster.partitions.partition(minority, majority)
+
+        alice.put(key, "alice-sloppy")
+        bob.put(key, "bob-sloppy")
+        cluster.run(until=cluster.simulation.now + 400.0)
+
+        cluster.partitions.heal()
+        cluster.drain()
+        cluster.converge(max_rounds=40)
+        assert_identical_sibling_sets(cluster)
+        for server in cluster.servers.values():
+            survivors = set(map(str, server.node.values_of(key)))
+            assert {"alice-sloppy", "bob-sloppy"} <= survivors
+
+
 class TestNoLostConcurrentUpdates:
     """The Figure 1 lost-update check, generalized to random churn."""
 

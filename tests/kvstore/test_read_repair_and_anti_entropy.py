@@ -54,6 +54,51 @@ class TestReadRepairPlanning:
         with pytest.raises(ValueError):
             plan_read_repair(self.mechanism, [])
 
+    def test_merge_order_does_not_trigger_repair(self):
+        """Replicas holding the same versions merged in different orders agree.
+
+        The fingerprint comparison canonicalizes the sibling set, so a replica
+        whose internal sibling list is ordered differently from the merged
+        state's is not re-sent an identical repair on every read.
+        """
+        left = self.mechanism.write(
+            self.mechanism.empty_state(), self.mechanism.empty_context(),
+            sibling("v-left", writer="cL"), "A", "cL")
+        right = self.mechanism.write(
+            self.mechanism.empty_state(), self.mechanism.empty_context(),
+            sibling("v-right", writer="cR"), "B", "cR")
+        merged_ab = self.mechanism.merge(left, right)
+        merged_ba = self.mechanism.merge(right, left)
+        plan = plan_read_repair(self.mechanism, [("A", merged_ab), ("B", merged_ba)])
+        assert plan.agreed
+        assert plan.stale_replicas == []
+
+    def test_reordered_sibling_lists_compare_equal(self):
+        """An order-perturbing mechanism view still yields an agreeing plan."""
+
+        class ReorderingView(DVVMechanism):
+            """Returns the sibling list in alternating order per call."""
+
+            def __init__(self):
+                super().__init__()
+                self._flip = False
+
+            def siblings(self, state):
+                result = list(super().siblings(state))
+                self._flip = not self._flip
+                return list(reversed(result)) if self._flip else result
+
+        mechanism = ReorderingView()
+        state = mechanism.merge(
+            mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                            sibling("x", writer="c1"), "A", "c1"),
+            mechanism.write(mechanism.empty_state(), mechanism.empty_context(),
+                            sibling("y", writer="c2"), "B", "c2"),
+        )
+        plan = plan_read_repair(mechanism, [("A", state), ("B", state)])
+        assert plan.agreed
+        assert plan.stale_replicas == []
+
     def test_stats_accumulation(self):
         stats = ReadRepairStats()
         stats.record(plan_read_repair(self.mechanism, [("A", self.fresh), ("B", self.fresh)]))

@@ -55,6 +55,101 @@ class TestBasicRequestFlow:
         assert cluster.client("alice") is cluster.client("alice")
 
 
+class TestAsyncRequestMode:
+    def build_async(self, **kwargs):
+        kwargs.setdefault("server_ids", ("n1", "n2", "n3", "n4", "n5"))
+        kwargs.setdefault("quorum", QuorumConfig(n=3, r=2, w=2, sloppy=True))
+        kwargs.setdefault("request_mode", "async")
+        kwargs.setdefault("replica_timeout_ms", 6.0)
+        kwargs.setdefault("request_timeout_ms", 30.0)
+        return build_cluster(**kwargs)
+
+    def test_unknown_request_mode_rejected(self):
+        from repro.core.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            build_cluster(request_mode="psychic")
+        with pytest.raises(ConfigurationError):
+            build_cluster(request_mode="async", replica_timeout_ms=0)
+
+    def test_healthy_cluster_serves_without_deadline_firing(self):
+        cluster = self.build_async()
+        client = cluster.client("alice")
+        outcomes = {}
+        client.put("k", "v1", lambda result: outcomes.setdefault("put", result))
+        cluster.run(until=50)
+        client.get("k", lambda result: outcomes.setdefault("get", result))
+        cluster.drain()
+        assert outcomes["put"] is not None
+        assert outcomes["get"].values == ["v1"]
+        # All replica/request deadlines were disarmed by timely acks.
+        stats = cluster.transport.stats
+        assert stats.deadlines_set > 0
+        assert stats.deadlines_fired == 0
+
+    def test_crashed_primary_is_handed_off_even_after_quorum(self):
+        """The quorum completes without the crashed primary, and the write
+        still reaches a fallback with a hint naming it."""
+        cluster = self.build_async()
+        key = "k"
+        victim = cluster.placement.primary_replicas(key)[2]
+        cluster.fail_node(victim)
+        client = cluster.client("alice")
+        outcomes = {}
+        client.put(key, "v1", lambda result: outcomes.setdefault("put", result))
+        cluster.run(until=cluster.simulation.now + 100.0)
+        assert outcomes["put"] is not None
+        holders = [server_id for server_id, server in cluster.servers.items()
+                   if server.node.hints_for(victim)]
+        assert holders and victim not in holders
+
+    def test_strict_mode_records_failed_write(self):
+        cluster = self.build_async(quorum=QuorumConfig(n=3, r=2, w=2, sloppy=False))
+        key = "k"
+        primaries = cluster.placement.primary_replicas(key)
+        for victim in primaries[1:]:
+            cluster.fail_node(victim)
+        client = cluster.client("alice")
+        results = []
+        client.put(key, "v1", results.append)
+        cluster.run(until=cluster.simulation.now + 200.0)
+        assert results == [None]
+        record = client.records[-1]
+        assert not record.ok
+        assert record.error in ("quorum_unreachable", "request_timeout")
+        # Deadline accounting stays consistent: every set deadline either
+        # fired, was cancelled, or is still pending — never both.
+        stats = cluster.transport.stats
+        assert stats.deadlines_fired + stats.deadlines_cancelled <= stats.deadlines_set
+
+    def test_strict_non_primary_coordinator_does_not_self_vote(self):
+        """A strict W=1 quorum must not be satisfied by a non-home
+        coordinator's own copy when every primary is unreachable."""
+        cluster = self.build_async(quorum=QuorumConfig(n=3, r=1, w=1, sloppy=False))
+        key = "k"
+        primaries = cluster.placement.primary_replicas(key)
+        for victim in primaries:
+            cluster.fail_node(victim)
+        client = cluster.client("alice")
+        results = []
+        client.put(key, "v1", results.append)
+        cluster.run(until=cluster.simulation.now + 800.0)
+        assert results == [None]
+        assert not client.records[-1].ok
+
+    def test_client_fails_over_to_fallback_coordinator(self):
+        cluster = self.build_async()
+        key = "k"
+        primaries = cluster.placement.primary_replicas(key)
+        for victim in primaries:
+            cluster.fail_node(victim)
+        client = cluster.client("alice")
+        results = []
+        client.put(key, "v1", results.append)
+        cluster.run(until=cluster.simulation.now + 800.0)
+        assert results and results[0] is not None
+        assert results[0].coordinator not in primaries
+
+
 class TestReplicationAndQuorums:
     def test_write_reaches_quorum_replicas(self):
         cluster = build_cluster(quorum=QuorumConfig(n=3, r=2, w=2))

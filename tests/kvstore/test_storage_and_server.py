@@ -96,3 +96,48 @@ class TestStorageNode:
         node.local_write("k", None, sibling("v1"), "c1")
         assert node.metadata_entries("k") >= 1
         assert node.metadata_bytes() > 0
+
+
+class TestHintDurability:
+    """Hints live in the storage layer and share the disk's fate."""
+
+    def make_node(self):
+        node = StorageNode("A", DVVMechanism())
+        state = node.local_write("k", None, sibling("v1"), "c1")
+        return node, state
+
+    def test_hints_are_persisted_in_node_storage(self):
+        node, state = self.make_node()
+        hint = node.store_hint("B", "k", state)
+        assert node.pending_hints() == 1
+        assert node.hint_targets() == ["B"]
+        # The hint is held by the storage layer, not by in-memory server state.
+        assert node.storage.pending_hints() == 1
+        assert [h.hint_id for h in node.storage.hints_for("B")] == [hint.hint_id]
+        assert node.stats["hints_stored"] == 1
+
+    def test_hints_survive_when_storage_object_is_retained(self):
+        """A process restart keeps the disk — and with it the hints."""
+        node, state = self.make_node()
+        node.store_hint("B", "k", state)
+        disk = node.storage
+        restarted = StorageNode("A", DVVMechanism())
+        restarted.storage = disk            # same disk, new process
+        assert restarted.pending_hints() == 1
+        assert restarted.hints_for("B")[0].key == "k"
+
+    def test_wiped_storage_loses_hints(self):
+        node, state = self.make_node()
+        node.store_hint("B", "k", state)
+        node.storage = NodeStorage(DVVMechanism())   # disk loss
+        assert node.pending_hints() == 0
+        assert node.hint_targets() == []
+
+    def test_clear_hints_partial_and_full(self):
+        node, state = self.make_node()
+        first = node.store_hint("B", "k", state)
+        second = node.store_hint("B", "k2", state)
+        node.clear_hints("B", [first.hint_id])
+        assert [h.hint_id for h in node.hints_for("B")] == [second.hint_id]
+        node.clear_hints("B")
+        assert node.pending_hints() == 0

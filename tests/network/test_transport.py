@@ -135,6 +135,44 @@ class TestAccounting:
         sim.run_until_idle()
         assert transport.stats.bytes_sent == 300
         assert transport.stats.per_type["ping"] == 2
+        assert transport.stats.bytes_delivered == 300
+        assert transport.stats.bytes_dropped == 0
+        assert transport.stats.bytes_for("ping") == 300
+
+    def test_partition_dropped_bytes_not_counted_as_delivered(self):
+        partitions = PartitionManager()
+        sim, _ = make_transport()
+        transport = Transport(sim, partitions=partitions)
+        transport.register("A", lambda m: None)
+        transport.register("B", lambda m: None)
+        partitions.partition({"A"}, {"B"})
+        transport.send(ping("A", "B", size=150))
+        sim.run_until_idle()
+        assert transport.stats.bytes_sent == 150       # attempted
+        assert transport.stats.bytes_delivered == 0
+        assert transport.stats.bytes_dropped == 150
+        assert transport.stats.bytes_for("ping") == 0  # delivered view
+        assert transport.stats.attempted_bytes_for("ping") == 150
+        assert transport.stats.dropped_bytes_per_type["ping"] == 150
+
+    def test_receiver_crash_mid_flight_counts_as_dropped(self):
+        sim, transport = make_transport(latency=FixedLatency(5.0))
+        transport.register("B", lambda m: None)
+        transport.send(ping("A", "B", size=80))
+        transport.unregister("B")                      # crash before delivery
+        sim.run_until_idle()
+        assert transport.stats.dropped_unknown_destination == 1
+        assert transport.stats.bytes_delivered == 0
+        assert transport.stats.bytes_dropped == 80
+
+    def test_duplicate_delivery_counts_delivered_bytes_twice(self):
+        sim, transport = make_transport(duplicate_probability=0.999, seed=3)
+        transport.register("B", lambda m: None)
+        transport.send(ping("A", "B", size=50))
+        sim.run_until_idle()
+        assert transport.stats.duplicated == 1
+        assert transport.stats.bytes_sent == 50        # one attempted send
+        assert transport.stats.bytes_delivered == 100  # arrived twice
 
     def test_trace_recording(self):
         sim, transport = make_transport()
@@ -151,3 +189,32 @@ class TestAccounting:
         assert reply.sender == "B" and reply.receiver == "A"
         assert reply.request_id == request.msg_id
         assert reply.payload == {"ok": True}
+
+
+class TestDeadlines:
+    def test_deadline_fires_after_delay(self):
+        sim, transport = make_transport()
+        fired = []
+        transport.schedule_deadline(7.5, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [7.5]
+        assert transport.stats.deadlines_set == 1
+        assert transport.stats.deadlines_fired == 1
+
+    def test_cancelled_deadline_does_not_fire(self):
+        sim, transport = make_transport()
+        fired = []
+        handle = transport.schedule_deadline(5.0, lambda: fired.append(True))
+        transport.cancel_deadline(handle)
+        sim.run_until_idle()
+        assert fired == []
+        assert transport.stats.deadlines_cancelled == 1
+        assert transport.stats.deadlines_fired == 0
+
+    def test_cancel_is_idempotent_and_tolerates_none(self):
+        sim, transport = make_transport()
+        handle = transport.schedule_deadline(1.0, lambda: None)
+        transport.cancel_deadline(handle)
+        transport.cancel_deadline(handle)
+        transport.cancel_deadline(None)
+        assert transport.stats.deadlines_cancelled == 1

@@ -84,6 +84,14 @@ class TestClusterCommand:
                      "--duration-ms", "100", "--anti-entropy", "full"]) == 0
         assert "requests completed" in capsys.readouterr().out
 
+    def test_async_request_mode_run(self, capsys):
+        assert main(["cluster", "--mechanism", "dvv", "--clients", "2",
+                     "--duration-ms", "120", "--request-mode", "async",
+                     "--quorum-mode", "sloppy", "--servers", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "request mode" in output and "async" in output
+        assert "requests failed" in output
+
 
 class TestChurnCommand:
     def test_elasticity_scenario(self, capsys):
@@ -100,6 +108,23 @@ class TestChurnCommand:
         output = capsys.readouterr().out
         assert "hint replays" in output
 
+    def test_sloppy_partition_scenario(self, capsys):
+        assert main(["churn", "--scenario", "sloppy_partition", "--mechanism", "dvv",
+                     "--quorum-mode", "sloppy", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "sloppy_partition" in output
+        assert "requests failed" in output
+
+    def test_sloppy_partition_strict_mode_reports_failures(self, capsys):
+        assert main(["churn", "--scenario", "sloppy_partition", "--mechanism", "dvv",
+                     "--quorum-mode", "strict", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "strict" in output
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["churn", "--scenario", "nonsense"])
+
+    def test_unknown_quorum_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--quorum-mode", "wishful"])
