@@ -149,12 +149,12 @@ def test_benchmark_workload_with_merkle_convergence(benchmark, mechanism_name):
 # --------------------------------------------------------------------------- #
 # Message-passing cluster: full-state vs Merkle-delta sync traffic (bytes)
 # --------------------------------------------------------------------------- #
-def cluster_sync_bytes(keys: int, strategy: str, seed: int = 9):
-    """Bytes of sync traffic to converge a mostly-synced simulated cluster.
+def build_diverged_cluster(keys: int, strategy: str = "merkle",
+                           maintenance: str = "incremental", seed: int = 9):
+    """A mostly-synced simulated cluster, ready for one convergence.
 
     Builds a 3-server cluster, fully converges it, diverges ~10% of the keys
-    behind a partition, heals, and measures the sync-message bytes one
-    convergence costs under the given anti-entropy strategy.
+    behind a partition, then heals — the state every sweep below starts from.
     """
     cluster = SimulatedCluster(
         create("dvv"),
@@ -163,6 +163,7 @@ def cluster_sync_bytes(keys: int, strategy: str, seed: int = 9):
         anti_entropy_interval_ms=None,
         hint_replay_interval_ms=None,
         anti_entropy_strategy=strategy,
+        merkle_maintenance=maintenance,
         seed=seed,
     )
     client = cluster.client("writer")
@@ -184,10 +185,47 @@ def cluster_sync_bytes(keys: int, strategy: str, seed: int = 9):
         client.get(key, lambda result, k=key: client.put(k, f"late-{k}"))
         cluster.simulation.run_until_idle()
     cluster.partitions.heal()
+    return cluster
 
+
+def cluster_sync_bytes(keys: int, strategy: str, seed: int = 9):
+    """Bytes of sync traffic one convergence costs under a sync strategy."""
+    cluster = build_diverged_cluster(keys, strategy=strategy, seed=seed)
     before = cluster.sync_bytes()
     rounds = cluster.converge()
     return cluster.sync_bytes() - before, rounds, cluster
+
+
+# --------------------------------------------------------------------------- #
+# Hash-tree maintenance: incremental index vs per-exchange rebuilds
+# --------------------------------------------------------------------------- #
+TREE_WORK_STATS = ("keys_hashed", "buckets_rehashed", "full_rebuilds")
+
+MAINTENANCE_MODES = ("rebuild", "incremental")
+
+
+def tree_work_totals(cluster) -> dict:
+    """The cluster-wide hash-tree maintenance counters."""
+    totals = cluster.stat_totals()
+    return {name: totals.get(name, 0) for name in TREE_WORK_STATS}
+
+
+def cluster_tree_work(keys: int, maintenance: str, seed: int = 9):
+    """Hash-tree work (key fingerprints hashed, buckets re-hashed, full
+    rebuilds) one convergence costs under a maintenance mode.
+
+    With ``"rebuild"`` every exchange re-fingerprints the whole key space on
+    both sides — O(total keys) per exchange.  With ``"incremental"`` the
+    write-maintained index only re-hashes what the convergence merges
+    actually dirtied — O(divergent buckets) — which is the scaling the
+    incremental-index subsystem exists to provide.
+    """
+    cluster = build_diverged_cluster(keys, maintenance=maintenance, seed=seed)
+    before = tree_work_totals(cluster)
+    rounds = cluster.converge()
+    after = tree_work_totals(cluster)
+    delta = {name: after[name] - before[name] for name in TREE_WORK_STATS}
+    return delta, rounds, cluster
 
 
 CLUSTER_KEY_COUNTS = [20, 60, 150]
@@ -216,6 +254,61 @@ def test_report_cluster_sync_bytes(cluster_byte_sweep, publish):
     publish("cluster_sync_bytes", table)
     for keys in CLUSTER_KEY_COUNTS:
         assert cluster_byte_sweep[keys]["merkle"] < cluster_byte_sweep[keys]["full"]
+
+
+@pytest.fixture(scope="module")
+def tree_work_sweep():
+    return {
+        keys: {mode: cluster_tree_work(keys, mode)[0]
+               for mode in MAINTENANCE_MODES}
+        for keys in CLUSTER_KEY_COUNTS
+    }
+
+
+def test_report_tree_maintenance_cost(tree_work_sweep, publish):
+    """Build-cost series: hash-tree work per convergence, rebuild vs index."""
+    rows = []
+    for keys in CLUSTER_KEY_COUNTS:
+        rebuild = tree_work_sweep[keys]["rebuild"]
+        incremental = tree_work_sweep[keys]["incremental"]
+        rows.append([
+            keys,
+            rebuild["keys_hashed"], rebuild["full_rebuilds"],
+            incremental["keys_hashed"], incremental["buckets_rehashed"],
+            round(rebuild["keys_hashed"] / max(incremental["keys_hashed"], 1), 1),
+        ])
+    table = render_table(
+        ["keys", "rebuild: keys hashed", "rebuild: tree builds",
+         "incremental: keys hashed", "incremental: buckets rehashed",
+         "savings factor"],
+        rows,
+        title="Simulated cluster — hash-tree work until convergence (10% keys divergent)",
+    )
+    publish("cluster_tree_maintenance", table)
+    for keys in CLUSTER_KEY_COUNTS:
+        rebuild = tree_work_sweep[keys]["rebuild"]
+        incremental = tree_work_sweep[keys]["incremental"]
+        # The subsystem's contract: exchange-time tree work scales with the
+        # divergence, not the key space, so the incremental index must hash
+        # strictly fewer key fingerprints — and never rebuild — while the
+        # rebuild mode pays O(keys) per exchange.
+        assert incremental["keys_hashed"] < rebuild["keys_hashed"]
+        assert incremental["full_rebuilds"] == 0
+        assert rebuild["full_rebuilds"] >= 2   # both sides of >= 1 exchange
+        # Divergence-proportional, not keyspace-proportional: with ~10% of
+        # keys diverged, converging must re-fingerprint fewer keys than the
+        # store holds, while a single rebuild already hashes all of them.
+        assert incremental["keys_hashed"] < keys
+
+
+def test_maintenance_modes_reach_identical_states():
+    _, _, rebuild_cluster = cluster_tree_work(40, "rebuild")
+    _, _, incremental_cluster = cluster_tree_work(40, "incremental")
+    assert rebuild_cluster.is_converged() and incremental_cluster.is_converged()
+    for key in rebuild_cluster.key_universe():
+        rebuilt = sorted(map(repr, rebuild_cluster.servers["A"].node.values_of(key)))
+        indexed = sorted(map(repr, incremental_cluster.servers["A"].node.values_of(key)))
+        assert rebuilt == indexed
 
 
 def test_cluster_strategies_reach_identical_states():
@@ -285,8 +378,10 @@ def test_report_sloppy_availability(availability_sweep, publish):
 def run_smoke(keys: int = 60) -> int:
     """Quick regression gate for CI.
 
-    Two checks: (1) merkle-delta anti-entropy must transfer fewer bytes than
-    the full-state exchange; (2) under a partition, the async request mode's
+    Three checks: (1) merkle-delta anti-entropy must transfer fewer bytes
+    than the full-state exchange; (2) on a large keyspace, the incremental
+    Merkle index must do less hash-tree work per convergence than rebuilding
+    the trees per exchange; (3) under a partition, the async request mode's
     sloppy quorums must complete writes that strict quorums fail, and still
     converge after healing.
     """
@@ -306,6 +401,37 @@ def run_smoke(keys: int = 60) -> int:
         return 1
     print(f"OK: merkle-delta saves {full_bytes - merkle_bytes} bytes "
           f"({full_bytes / max(merkle_bytes, 1):.1f}x)")
+
+    # Incremental hash-tree maintenance: a large keyspace so the O(keys)
+    # rebuild cost is unmistakable against the O(divergence) index cost.
+    tree_keys = max(keys, 200)
+    work = {mode: cluster_tree_work(tree_keys, mode) for mode in MAINTENANCE_MODES}
+    print(render_table(
+        ["maintenance", "keys hashed", "buckets rehashed", "full rebuilds", "rounds"],
+        [[mode, delta["keys_hashed"], delta["buckets_rehashed"],
+          delta["full_rebuilds"], rounds]
+         for mode, (delta, rounds, _cluster) in work.items()],
+        title=f"Hash-tree maintenance smoke ({tree_keys} keys, 10% divergent)",
+    ))
+    for mode, (_delta, _rounds, cluster) in work.items():
+        if not cluster.is_converged():
+            print(f"FAIL: {mode} maintenance did not converge", file=sys.stderr)
+            return 1
+    rebuild_hashed = work["rebuild"][0]["keys_hashed"]
+    incremental_hashed = work["incremental"][0]["keys_hashed"]
+    if incremental_hashed >= rebuild_hashed:
+        print("FAIL: incremental Merkle maintenance no longer beats full "
+              f"rebuilds on tree work per exchange ({incremental_hashed} >= "
+              f"{rebuild_hashed} key fingerprints hashed)", file=sys.stderr)
+        return 1
+    if work["incremental"][0]["full_rebuilds"] != 0:
+        print("FAIL: incremental maintenance fell back to full tree rebuilds "
+              f"({work['incremental'][0]['full_rebuilds']} during convergence)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: incremental index hashed {incremental_hashed} key fingerprints "
+          f"vs {rebuild_hashed} for per-exchange rebuilds "
+          f"({rebuild_hashed / max(incremental_hashed, 1):.1f}x less tree work)")
 
     sweeps = {mode: availability_under_partition(mode) for mode in QUORUM_MODES}
     print(render_table(

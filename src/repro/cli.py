@@ -194,6 +194,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         anti_entropy_interval_ms=50.0,
         anti_entropy_strategy=args.anti_entropy,
         request_mode=args.request_mode,
+        deadline_mode=args.deadline_mode,
+        merkle_maintenance=args.merkle_maintenance,
         seed=args.seed,
     )
     workload = ClosedLoopConfig(
@@ -206,6 +208,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     records = cluster.all_request_records()
     latency = analyze_requests(args.mechanism, records, duration_ms=args.duration_ms)
     metadata = measure_simulated_cluster(cluster)
+    stats = cluster.stat_totals()
     print(render_table(
         ["metric", "value"],
         [
@@ -214,6 +217,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ["clients", args.clients],
             ["request mode", args.request_mode],
             ["quorum mode", args.quorum_mode],
+            ["deadline mode", args.deadline_mode],
+            ["merkle maintenance", args.merkle_maintenance],
             ["requests completed", latency.requests],
             ["requests failed", sum(1 for record in records if not record.ok)],
             ["mean latency (ms)", round(latency.overall.mean, 3)],
@@ -223,6 +228,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ["context bytes / request", round(latency.mean_context_bytes, 1)],
             ["stored metadata bytes", metadata.total_bytes],
             ["bytes on the wire", cluster.transport.stats.bytes_sent],
+            ["merkle keys hashed", stats.get("keys_hashed", 0)],
+            ["merkle buckets rehashed", stats.get("buckets_rehashed", 0)],
+            ["merkle full rebuilds", stats.get("full_rebuilds", 0)],
         ],
         title="Simulated cluster run",
     ))
@@ -300,6 +308,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "async: per-replica deadlines with sloppy-quorum fallbacks")
     cluster.add_argument("--quorum-mode", default="sloppy", choices=["strict", "sloppy"],
                          dest="quorum_mode")
+    cluster.add_argument("--deadline-mode", default="fixed", choices=["fixed", "adaptive"],
+                         dest="deadline_mode",
+                         help="async-mode replica deadlines: one fixed timeout, or an "
+                              "EWMA of each replica's observed ack latency "
+                              "(clamped to a floor/ceiling)")
+    cluster.add_argument("--merkle-maintenance", default="incremental",
+                         choices=["incremental", "rebuild"], dest="merkle_maintenance",
+                         help="incremental: write-maintained hash trees (Riak-style); "
+                              "rebuild: re-hash the key space on every exchange")
     cluster.add_argument("--servers", type=int, default=3)
     cluster.add_argument("--clients", type=int, default=16)
     cluster.add_argument("--keys", type=int, default=2)

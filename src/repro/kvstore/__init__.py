@@ -14,7 +14,17 @@ Two store frontends share the same replica-local machinery
 from .anti_entropy import AntiEntropyDaemon, AntiEntropyScheduler, HintedHandoffDaemon
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
-from .merkle import DiffStats, MerkleAntiEntropy, MerkleTree, diff_keys, key_fingerprint
+from .merkle import (
+    MERKLE_MAINTENANCE_MODES,
+    DiffStats,
+    MerkleAntiEntropy,
+    MerkleTree,
+    bucket_path,
+    diff_keys,
+    key_fingerprint,
+    state_fingerprint,
+)
+from .merkle_index import MerkleIndex
 from .merge import (
     CallbackResolver,
     LastWriterWins,
@@ -25,6 +35,7 @@ from .merge import (
 from .read_repair import ReadRepairStats, RepairPlan, plan_read_repair
 from .server import Hint, StorageNode
 from .simulated import (
+    DEADLINE_MODES,
     REQUEST_MODES,
     MerkleSyncStats,
     MessageServer,
@@ -38,6 +49,8 @@ from .sync_store import SyncReplicatedStore
 from .write_log import WriteLog, WriteRecord
 
 __all__ = [
+    "DEADLINE_MODES",
+    "MERKLE_MAINTENANCE_MODES",
     "REQUEST_MODES",
     "AntiEntropyDaemon",
     "AntiEntropyScheduler",
@@ -50,6 +63,7 @@ __all__ = [
     "HintedHandoffDaemon",
     "LastWriterWins",
     "MerkleAntiEntropy",
+    "MerkleIndex",
     "MerkleSyncStats",
     "MerkleTree",
     "MessageServer",
@@ -66,9 +80,11 @@ __all__ = [
     "UnionMerge",
     "WriteLog",
     "WriteRecord",
+    "bucket_path",
     "default_value_size",
     "diff_keys",
     "key_fingerprint",
     "plan_read_repair",
     "resolve_and_writeback",
+    "state_fingerprint",
 ]

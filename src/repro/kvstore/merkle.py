@@ -37,19 +37,38 @@ def _hash_bytes(payload: bytes) -> bytes:
     return hashlib.sha256(payload).digest()
 
 
-def key_fingerprint(node: StorageNode, key: str) -> bytes:
-    """Fingerprint of a key's sibling set at one replica.
+def state_fingerprint(mechanism, state) -> bytes:
+    """Fingerprint of one mechanism state's sibling set.
 
     Built from the sorted ground-truth origin dots of the live siblings, so
     two replicas have equal fingerprints iff they store the same versions —
-    regardless of which causality mechanism produced them.
+    regardless of which causality mechanism produced them.  This is the unit
+    of work the incremental index (:mod:`repro.kvstore.merkle_index`) pays
+    once per mutation instead of once per key per tree rebuild.
     """
-    siblings = node.siblings_of(key)
+    siblings = mechanism.siblings(state)
     material = ";".join(
         f"{sibling.origin_dot.actor}:{sibling.origin_dot.counter}"
         for sibling in sorted(siblings, key=lambda s: s.origin_dot)
     )
     return _hash_bytes(material.encode("utf-8"))
+
+
+def key_fingerprint(node: StorageNode, key: str) -> bytes:
+    """Fingerprint of a key's sibling set at one replica."""
+    return state_fingerprint(node.mechanism, node.storage.get_state(key))
+
+
+def bucket_path(key: str, fanout: int, depth: int) -> Tuple[int, ...]:
+    """The leaf-bucket path a key hashes to in a (fanout, depth) tree.
+
+    Shared by :class:`MerkleTree` and the incremental
+    :class:`~repro.kvstore.merkle_index.MerkleIndex` so a write-maintained
+    index and a from-scratch rebuild place every key in the same bucket and
+    produce byte-identical digests.
+    """
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return tuple(digest[level] % fanout for level in range(depth))
 
 
 @dataclass
@@ -76,7 +95,8 @@ class MerkleTree:
     def __init__(self,
                  fingerprints: Dict[str, bytes],
                  fanout: int = 16,
-                 depth: int = 2) -> None:
+                 depth: int = 2,
+                 prebuilt_root: Optional[MerkleNode] = None) -> None:
         if fanout < 2:
             raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
         if depth < 1:
@@ -84,7 +104,10 @@ class MerkleTree:
         self.fanout = fanout
         self.depth = depth
         self._fingerprints = dict(fingerprints)
-        self.root = self._build()
+        # ``prebuilt_root`` lets an incrementally maintained index snapshot
+        # itself as a MerkleTree without re-hashing anything (the digests were
+        # already paid for, one leaf path at a time, on the write path).
+        self.root = prebuilt_root if prebuilt_root is not None else self._build()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -98,8 +121,7 @@ class MerkleTree:
         return cls(fingerprints, fanout=fanout, depth=depth)
 
     def _bucket_path(self, key: str) -> Tuple[int, ...]:
-        digest = hashlib.md5(key.encode("utf-8")).digest()
-        return tuple(digest[level] % self.fanout for level in range(self.depth))
+        return bucket_path(key, self.fanout, self.depth)
 
     def _build(self) -> MerkleNode:
         buckets: Dict[Tuple[int, ...], List[str]] = {}
@@ -218,24 +240,53 @@ def diff_keys(left: MerkleTree, right: MerkleTree,
     return divergent
 
 
+#: How replica hash trees are obtained for an exchange: incrementally
+#: maintained on every write (the default, Riak-style persistent hashtrees)
+#: or rebuilt from scratch per exchange (the pre-index behaviour, kept for
+#: the maintenance-cost ablation).
+MERKLE_MAINTENANCE_MODES = ("incremental", "rebuild")
+
+
 class MerkleAntiEntropy:
     """Anti-entropy for the synchronous store driven by Merkle-tree diffs.
 
-    Each round picks the next replica pair (round-robin), builds both trees,
+    Each round picks the next replica pair (round-robin), obtains both trees,
     and synchronises only the keys the diff reports.  Statistics accumulate
     across rounds so tests and benchmarks can compare the transfer volume
     against the naive all-keys exchange.
+
+    With ``maintenance="incremental"`` (the default) each replica carries a
+    write-maintained :class:`~repro.kvstore.merkle_index.MerkleIndex` (attached
+    here if the node does not have one yet) and a round takes cheap digest
+    snapshots; ``maintenance="rebuild"`` re-hashes the full key space per
+    round, the cost the index exists to remove.
     """
 
-    def __init__(self, store: SyncReplicatedStore, fanout: int = 16, depth: int = 2) -> None:
+    def __init__(self, store: SyncReplicatedStore, fanout: int = 16, depth: int = 2,
+                 maintenance: str = "incremental") -> None:
+        if maintenance not in MERKLE_MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"unknown merkle maintenance mode {maintenance!r}; "
+                f"choose from {MERKLE_MAINTENANCE_MODES}"
+            )
         self.store = store
         self.fanout = fanout
         self.depth = depth
+        self.maintenance = maintenance
         self._pair_index = 0
         self.rounds_run = 0
         self.keys_synced = 0
         self.keys_skipped = 0
         self.diff_stats = DiffStats()
+        if maintenance == "incremental":
+            from .merkle_index import MerkleIndex  # circular-import guard
+            for node in self.store.servers.values():
+                index = node.merkle_index
+                if index is None or index.fanout != fanout or index.depth != depth:
+                    node.attach_merkle_index(
+                        MerkleIndex(node.mechanism, fanout=fanout, depth=depth,
+                                    counters=node.stats)
+                    )
 
     def _pairs(self) -> List[Tuple[str, str]]:
         servers = sorted(self.store.servers)
@@ -251,6 +302,31 @@ class MerkleAntiEntropy:
             keys.update(node.storage.keys())
         return keys
 
+    def _trees(self, source: StorageNode,
+               target: StorageNode) -> Tuple[MerkleTree, MerkleTree, int]:
+        """Both replicas' trees plus the key-universe size (for accounting).
+
+        A snapshot covers only the keys the replica holds while a rebuild
+        covers the shared universe (absent keys hash to the empty fingerprint);
+        both conventions localise exactly the same divergent keys as long as
+        the two sides use the same one.  Only the rebuild branch pays the
+        O(universe) sort + double re-hash; the incremental branch's cost is
+        the snapshots (dirty-bucket flush + digest copy).
+        """
+        if self.maintenance == "incremental":
+            left = source.merkle_index.snapshot()
+            right = target.merkle_index.snapshot()
+            total = len(left._fingerprints.keys() | right._fingerprints.keys())
+            return left, right, total
+        universe = sorted(self._universe(source, target))
+        trees = []
+        for node in (source, target):
+            node.stats["full_rebuilds"] += 1
+            node.stats["keys_hashed"] += len(universe)
+            trees.append(MerkleTree.for_node(node, universe,
+                                             fanout=self.fanout, depth=self.depth))
+        return trees[0], trees[1], len(universe)
+
     def run_round(self) -> Tuple[str, str, List[str]]:
         """Synchronise one replica pair; returns the pair and the keys transferred."""
         pairs = self._pairs()
@@ -262,15 +338,13 @@ class MerkleAntiEntropy:
 
         source = self.store.node(source_id)
         target = self.store.node(target_id)
-        universe = sorted(self._universe(source, target))
-        left = MerkleTree.for_node(source, universe, fanout=self.fanout, depth=self.depth)
-        right = MerkleTree.for_node(target, universe, fanout=self.fanout, depth=self.depth)
+        left, right, total_keys = self._trees(source, target)
         divergent = diff_keys(left, right, self.diff_stats)
 
         for key in divergent:
             self.store.sync_key(key, source_id, target_id, bidirectional=True)
         self.keys_synced += len(divergent)
-        self.keys_skipped += len(universe) - len(divergent)
+        self.keys_skipped += total_keys - len(divergent)
         return source_id, target_id, divergent
 
     def run_until_converged(self, max_rounds: int = 100) -> int:

@@ -1,0 +1,261 @@
+"""Incremental Merkle index: write-maintained hash trees (Riak-style).
+
+The Merkle-delta anti-entropy protocol (:mod:`repro.kvstore.merkle`,
+:mod:`repro.kvstore.simulated`) needs each replica's hash tree at the start of
+every exchange.  Rebuilding that tree from scratch — one fingerprint per key
+plus a full bucket/interior re-hash — makes the *tree* cost of an exchange
+proportional to the key-space size, defeating the point of the protocol,
+whose *wire* cost is already proportional to the divergence.  Production
+systems do not rebuild: the Riak deployment the paper's evaluation modified
+keeps **persistent, incrementally maintained hashtrees** (one per vnode) that
+are updated as objects are written and only re-hash the paths a write dirtied.
+
+:class:`MerkleIndex` is that design element for this substrate:
+
+* it subscribes to a :class:`~repro.kvstore.storage.NodeStorage` mutation
+  stream, so **every** path that changes a key's sibling set — client writes,
+  replica merges, read repair, Merkle-delta transfers, hint replay,
+  rebalancing handoff — re-fingerprints exactly the mutated key (one sha256)
+  and marks its leaf bucket dirty;
+* re-hashing is **lazy**: dirty buckets accumulate and are flushed the next
+  time a digest is needed, so a burst of writes into one bucket costs a single
+  leaf re-hash plus one root-path recomputation, not one per write and never
+  a tree rebuild;
+* :meth:`snapshot` freezes the current digests into an ordinary
+  :class:`~repro.kvstore.merkle.MerkleTree` (no hashing — the digests are
+  copied), so the existing exchange handlers and :func:`diff_keys` work
+  unchanged and two replicas agree with a from-scratch rebuild bit for bit;
+* the index shares its owner's durability: a crash-restart rebuilds it from
+  the surviving :class:`NodeStorage` contents (:meth:`rebuild`), a disk wipe
+  empties it (:meth:`reset`).
+
+Maintenance cost is observable through the counters the index increments in
+the owning node's stats dict — ``keys_hashed`` (fingerprints computed),
+``buckets_rehashed`` (leaf buckets re-hashed on flush), ``full_rebuilds``
+(rebuilds from storage) and ``snapshot_digests`` (maintained digests served
+to exchanges) — which is what lets the anti-entropy benchmark show exchange
+tree work dropping from O(keys) to O(divergent buckets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..clocks.interface import CausalityMechanism
+from ..core.exceptions import ConfigurationError
+from .merkle import MerkleNode, MerkleTree, _hash_bytes, bucket_path, state_fingerprint
+from .server import INDEX_COUNTERS
+from .storage import NodeStorage
+
+
+def _empty_digests(fanout: int, depth: int) -> List[bytes]:
+    """Digest of an all-empty subtree rooted at each level (root is level 0).
+
+    An unmaterialised bucket hashes exactly like an empty one in a full
+    rebuild (``sha256(b"")``, aggregated upward), so the index only has to
+    store digests for paths that actually hold keys.
+    """
+    digests: List[bytes] = [b""] * (depth + 1)
+    digests[depth] = _hash_bytes(b"")
+    for level in range(depth - 1, -1, -1):
+        digests[level] = _hash_bytes(digests[level + 1] * fanout)
+    return digests
+
+
+class MerkleIndex:
+    """A per-node hash tree updated in place on every storage mutation.
+
+    Parameters
+    ----------
+    mechanism:
+        The causality mechanism whose states are fingerprinted.
+    fanout / depth:
+        Tree shape; must match the peer's for digests to be comparable.
+    counters:
+        Mutable mapping the index increments its maintenance counters in
+        (typically the owning :class:`StorageNode`'s ``stats`` dict so the
+        numbers surface in cluster stat totals).  A private dict is used when
+        omitted.
+    """
+
+    def __init__(self,
+                 mechanism: CausalityMechanism,
+                 fanout: int = 16,
+                 depth: int = 2,
+                 counters: Optional[Dict[str, int]] = None) -> None:
+        if fanout < 2:
+            raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.mechanism = mechanism
+        self.fanout = fanout
+        self.depth = depth
+        self.counters: Dict[str, int] = counters if counters is not None else {}
+        for name in INDEX_COUNTERS:
+            self.counters.setdefault(name, 0)
+        self._empty = _empty_digests(fanout, depth)
+        self._fingerprints: Dict[str, bytes] = {}
+        self._buckets: Dict[Tuple[int, ...], Set[str]] = {}
+        self._digests: Dict[Tuple[int, ...], bytes] = {}
+        self._dirty: Set[Tuple[int, ...]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation tracking (NodeStorage listener)
+    # ------------------------------------------------------------------ #
+    def on_state_changed(self, key: str, state: Any) -> None:
+        """Storage listener: re-fingerprint one key and dirty its bucket.
+
+        ``state`` is the key's new mechanism state, or ``None``/empty when the
+        key was dropped.  Cost: one fingerprint hash for a live state, set
+        bookkeeping otherwise — never a re-hash of anything else.
+        """
+        if state is None or self.mechanism.is_empty(state):
+            if self._fingerprints.pop(key, None) is None:
+                return  # key was not indexed; nothing changed
+            path = bucket_path(key, self.fanout, self.depth)
+            bucket = self._buckets.get(path)
+            if bucket is not None:
+                bucket.discard(key)
+            self._dirty.add(path)
+            return
+        fingerprint = state_fingerprint(self.mechanism, state)
+        self.counters["keys_hashed"] += 1
+        if self._fingerprints.get(key) == fingerprint:
+            return  # idempotent merge / duplicate delivery: tree unchanged
+        self._fingerprints[key] = fingerprint
+        path = bucket_path(key, self.fanout, self.depth)
+        self._buckets.setdefault(path, set()).add(key)
+        self._dirty.add(path)
+
+    # ------------------------------------------------------------------ #
+    # Lazy re-hash
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Re-hash every dirty bucket and the root paths above them.
+
+        Returns the number of leaf buckets re-hashed.  A burst of writes that
+        landed in the same bucket since the last flush costs one leaf re-hash
+        here, and interior paths shared by several dirty buckets are re-hashed
+        once, not once per bucket.
+        """
+        if not self._dirty:
+            return 0
+        rehashed = 0
+        parents: Set[Tuple[int, ...]] = set()
+        for path in self._dirty:
+            keys = self._buckets.get(path)
+            if keys:
+                material = b"".join(self._fingerprints[key] for key in sorted(keys))
+                self._digests[path] = _hash_bytes(material)
+            else:
+                self._buckets.pop(path, None)
+                self._digests.pop(path, None)
+            rehashed += 1
+            parents.add(path[:-1])
+        self._dirty.clear()
+        self.counters["buckets_rehashed"] += rehashed
+        for level in range(self.depth - 1, -1, -1):
+            grandparents: Set[Tuple[int, ...]] = set()
+            for path in parents:
+                material = b"".join(self.digest_at(path + (branch,))
+                                    for branch in range(self.fanout))
+                digest = _hash_bytes(material)
+                if digest == self._empty[level]:
+                    self._digests.pop(path, None)
+                else:
+                    self._digests[path] = digest
+                if level > 0:
+                    grandparents.add(path[:-1])
+            parents = grandparents
+        return rehashed
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def root_digest(self) -> bytes:
+        """Digest summarising the whole replica state (flushes lazily)."""
+        self.flush()
+        return self.digest_at(())
+
+    def digest_at(self, path: Tuple[int, ...]) -> bytes:
+        """The maintained digest at a tree path (empty-subtree default)."""
+        return self._digests.get(path, self._empty[len(path)])
+
+    def dirty_buckets(self) -> int:
+        """Leaf buckets awaiting a re-hash (0 right after any digest query)."""
+        return len(self._dirty)
+
+    def keys(self) -> List[str]:
+        """Every indexed key, sorted."""
+        return sorted(self._fingerprints)
+
+    def fingerprint(self, key: str) -> Optional[bytes]:
+        """The maintained fingerprint for ``key`` (None when absent)."""
+        return self._fingerprints.get(key)
+
+    def snapshot(self) -> MerkleTree:
+        """Freeze the current digests into a :class:`MerkleTree`.
+
+        The returned tree is immutable and digest-identical to
+        ``MerkleTree.for_node(...)`` over the same keys, but is assembled from
+        the maintained digests without hashing anything — the cheap per-
+        exchange operation that replaces the per-exchange rebuild.  Exchange
+        sessions hold on to it, so later writes do not disturb in-flight
+        level comparisons.
+        """
+        self.flush()
+        exported = 0
+
+        def build(path: Tuple[int, ...], level: int) -> MerkleNode:
+            nonlocal exported
+            exported += 1
+            if level == self.depth:
+                return MerkleNode(digest=self.digest_at(path),
+                                  keys=sorted(self._buckets.get(path, ())))
+            return MerkleNode(
+                digest=self.digest_at(path),
+                children=[build(path + (branch,), level + 1)
+                          for branch in range(self.fanout)],
+            )
+
+        root = build((), 0)
+        self.counters["snapshot_digests"] += exported
+        # MerkleTree.__init__ copies the fingerprint dict, which is what
+        # freezes the snapshot against further index updates.
+        return MerkleTree(self._fingerprints, fanout=self.fanout,
+                          depth=self.depth, prebuilt_root=root)
+
+    # ------------------------------------------------------------------ #
+    # Durability: the index shares its storage's fate
+    # ------------------------------------------------------------------ #
+    def rebuild(self, storage: NodeStorage) -> None:
+        """Reindex everything from storage (crash-restart / first attach).
+
+        This is the one deliberately O(keys) operation: the in-memory tree
+        died with the process, but the key states survived on disk, so the
+        index is reconstructed from them — exactly what Riak does when a
+        hashtree is missing or marked stale at startup.
+        """
+        self.counters["full_rebuilds"] += 1
+        self._fingerprints.clear()
+        self._buckets.clear()
+        self._digests.clear()
+        self._dirty.clear()
+        for key, state in storage.items():
+            self.on_state_changed(key, state)
+        self.flush()
+
+    def reset(self) -> None:
+        """Empty the index (disk wipe: there is nothing left to summarise)."""
+        self._fingerprints.clear()
+        self._buckets.clear()
+        self._digests.clear()
+        self._dirty.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MerkleIndex(keys={len(self._fingerprints)}, "
+            f"fanout={self.fanout}, depth={self.depth}, "
+            f"dirty={len(self._dirty)})"
+        )

@@ -85,6 +85,9 @@ class ReadRepairStats:
         self.reads_checked = 0
         self.repairs_triggered = 0
         self.replicas_repaired = 0
+        #: Batched READ_REPAIR messages actually sent (repairs for one stale
+        #: replica are coalesced, so this is <= ``replicas_repaired``).
+        self.batches_sent = 0
 
     def record(self, plan: RepairPlan) -> None:
         """Account for one read's repair plan."""
@@ -106,5 +109,6 @@ class ReadRepairStats:
             "reads_checked": self.reads_checked,
             "repairs_triggered": self.repairs_triggered,
             "replicas_repaired": self.replicas_repaired,
+            "batches_sent": self.batches_sent,
             "repair_rate": self.repair_rate,
         }

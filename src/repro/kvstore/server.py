@@ -28,6 +28,13 @@ MERGE_COUNTERS = {
     "handoff": "handoffs",
 }
 
+#: Hash-tree maintenance counters, seeded to zero on every node so cluster
+#: stat totals keep a stable shape whether the node carries an incremental
+#: Merkle index, rebuilds trees per exchange, or does no anti-entropy at all.
+#: The :class:`~repro.kvstore.merkle_index.MerkleIndex` increments them.
+INDEX_COUNTERS = ("keys_hashed", "buckets_rehashed", "full_rebuilds",
+                  "snapshot_digests")
+
 
 class StorageNode:
     """One replica server."""
@@ -36,10 +43,15 @@ class StorageNode:
         self.node_id = node_id
         self.mechanism = mechanism
         self.storage = NodeStorage(mechanism)
+        #: Incremental Merkle index over this node's key space, when attached
+        #: (see :meth:`attach_merkle_index`); None means exchanges rebuild
+        #: trees from scratch.
+        self.merkle_index = None
         #: Operation counters for diagnostics and reports.  ``merges`` counts
         #: ordinary replication/read-repair merges only; hint replays, Merkle
         #: anti-entropy transfers and rebalancing handoffs have their own
-        #: counters (see :data:`MERGE_COUNTERS`).
+        #: counters (see :data:`MERGE_COUNTERS`); hash-tree maintenance has
+        #: the :data:`INDEX_COUNTERS`.
         self.stats = {
             "reads": 0,
             "writes": 0,
@@ -49,6 +61,7 @@ class StorageNode:
             "handoffs": 0,
             "hints_stored": 0,
         }
+        self.stats.update({name: 0 for name in INDEX_COUNTERS})
 
     # ------------------------------------------------------------------ #
     # Replica-local operations
@@ -98,6 +111,44 @@ class StorageNode:
     def state_of(self, key: str) -> Any:
         """The raw mechanism state stored for ``key`` (for replication/sync)."""
         return self.storage.get_state(key)
+
+    # ------------------------------------------------------------------ #
+    # Incremental Merkle index lifecycle
+    # ------------------------------------------------------------------ #
+    def attach_merkle_index(self, index) -> Any:
+        """Attach an incremental Merkle index; it then tracks every mutation.
+
+        The index subscribes to the storage mutation stream and is seeded
+        from the current contents, so it can be attached to a node that has
+        already served writes.  Replaces (and detaches) any previous index.
+        """
+        if self.merkle_index is not None:
+            self.storage.unsubscribe(self.merkle_index.on_state_changed)
+        self.merkle_index = index
+        self.storage.subscribe(index.on_state_changed)
+        index.rebuild(self.storage)
+        return index
+
+    def wipe(self) -> None:
+        """Replace the disk with an empty one (hints and key states lost).
+
+        The Merkle index summarises the disk, so it is emptied with it — a
+        wiped node's tree must advertise "I hold nothing" or anti-entropy
+        would skip the repopulation it needs.
+        """
+        self.storage = NodeStorage(self.mechanism)
+        if self.merkle_index is not None:
+            self.merkle_index.reset()
+            self.storage.subscribe(self.merkle_index.on_state_changed)
+
+    def restart(self) -> None:
+        """Process restart: disk contents survive, in-memory index does not.
+
+        Rebuilds the Merkle index from storage (counted in ``full_rebuilds``)
+        the way Riak reconstructs a missing hashtree at startup.
+        """
+        if self.merkle_index is not None:
+            self.merkle_index.rebuild(self.storage)
 
     def siblings_of(self, key: str) -> List[Sibling]:
         """The live sibling versions stored for ``key``."""

@@ -27,9 +27,9 @@ Merkle-delta anti-entropy
 A sync round between a source and a target walks the two replicas' hash trees
 level by level instead of shipping every key's state:
 
-1. the source builds a :class:`~repro.kvstore.merkle.MerkleTree` over its key
-   space and sends the root digest (``MERKLE_SYNC_REQUEST``, one digest);
-2. the target builds (and caches, per session) its own tree, compares the
+1. the source snapshots its hash tree and sends the root digest
+   (``MERKLE_SYNC_REQUEST``, one digest);
+2. the target snapshots (and caches, per session) its own tree, compares the
    received digests against the same tree positions, and answers with the
    paths that differ (``MERKLE_SYNC_RESPONSE``);
 3. the source descends: it ships the child digests of every differing path,
@@ -45,6 +45,18 @@ messages; bytes on the wire are proportional to the *divergence*, not the
 store size.  All protocol messages pay the normal transport latency/size
 costs, and every merge is idempotent, so lost or duplicated messages merely
 delay convergence until a later round.
+
+The trees themselves are **incrementally maintained**, Riak-style: each
+server carries a :class:`~repro.kvstore.merkle_index.MerkleIndex` subscribed
+to its storage's mutation stream, so every write path (client puts, replica
+merges, read repair, Merkle-delta transfers, hint replay, rebalancing
+handoff) re-fingerprints only the mutated key and dirties its leaf bucket;
+exchange snapshots just flush the dirty buckets and copy digests out.  Tree
+work per exchange is therefore O(divergent buckets), not O(keys) — set
+``merkle_maintenance="rebuild"`` to restore the old rebuild-per-exchange
+behaviour for cost comparisons.  Read-repair pushes are coalesced the same
+way sync transfers are: repairs for one stale replica ride a single batched
+``READ_REPAIR`` message per coalescing window.
 
 Dynamic membership and hinted handoff
 -------------------------------------
@@ -84,6 +96,12 @@ The cluster runs in one of two request modes (``request_mode``):
   infeasible or the overall request deadline fires.  Clients in async mode
   arm their own deadline and fail over to the next candidate coordinator on
   the (extended) preference list before reporting the request as failed.
+
+Per-replica deadlines are a fixed ``replica_timeout_ms`` by default;
+``deadline_mode="adaptive"`` instead arms an EWMA of each replica's observed
+ack latency (scaled for headroom, clamped to a floor/ceiling), so failover
+off a slow replica happens in a few of its usual round trips instead of a
+worst-case constant.
 """
 
 from __future__ import annotations
@@ -105,10 +123,10 @@ from ..network.transport import Transport
 from .anti_entropy import AntiEntropyDaemon, HintedHandoffDaemon
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
-from .merkle import MerkleTree, key_fingerprint
+from .merkle import MERKLE_MAINTENANCE_MODES, MerkleTree, key_fingerprint
+from .merkle_index import MerkleIndex
 from .read_repair import ReadRepairStats, plan_read_repair
 from .server import StorageNode
-from .storage import NodeStorage
 from .write_log import WriteLog
 
 #: Wire size of one tree digest in the Merkle exchange (sha256).
@@ -120,6 +138,20 @@ ANTI_ENTROPY_STRATEGIES = ("merkle", "full")
 #: failure detector ("membership", the default), or fan out with per-replica
 #: deadlines and sloppy-quorum fallbacks ("async").
 REQUEST_MODES = ("membership", "async")
+
+#: How async-mode per-replica deadlines are chosen: one fixed timeout
+#: ("fixed"), or an EWMA of each replica's observed ack latency, clamped to a
+#: floor/ceiling ("adaptive").
+DEADLINE_MODES = ("fixed", "adaptive")
+
+#: EWMA smoothing factor for observed per-replica ack latency (adaptive
+#: deadline mode): weight given to the newest observation.
+DEADLINE_EWMA_ALPHA = 0.3
+
+#: Adaptive deadline = EWMA x this headroom multiplier (then clamped), so a
+#: replica is only declared late when it takes several times its usual
+#: round trip.
+ADAPTIVE_DEADLINE_MULTIPLIER = 3.0
 
 #: Message types that carry anti-entropy traffic (either strategy); the single
 #: source of truth for "sync bytes" measurements in reports and benchmarks.
@@ -186,6 +218,7 @@ class _PendingCoordination:
     tried: List[str] = field(default_factory=list)       # every node contacted
     timed_out: List[str] = field(default_factory=list)
     deadlines: Dict[str, Any] = field(default_factory=dict)   # replica -> handle
+    sent_at: Dict[str, float] = field(default_factory=dict)   # replica -> send time
     request_deadline: Any = None
     #: fallback -> the primary it stands in for (hint chains survive
     #: a fallback itself timing out).
@@ -221,9 +254,27 @@ class MessageServer:
         self.node_id = node_id
         self.mechanism = mechanism
         self.cluster = cluster
+        if cluster.merkle_maintenance == "incremental":
+            # The write-maintained hash tree: every storage mutation (client
+            # writes, merges, read repair, hint replay, handoff) updates it
+            # in place, so exchanges snapshot digests instead of rebuilding.
+            self.node.attach_merkle_index(MerkleIndex(
+                mechanism,
+                fanout=cluster.merkle_fanout,
+                depth=cluster.merkle_depth,
+                counters=self.node.stats,
+            ))
         self._pending: Dict[int, _PendingCoordination] = {}
         self._request_ids = itertools.count(1)
         self.read_repair_stats = ReadRepairStats()
+        # Read-repair pushes are coalesced per target replica (mirroring
+        # MERKLE_KEY_STATES batching): repairs queue here and flush as one
+        # READ_REPAIR message per target when the batch fills or the
+        # coalescing window closes.
+        self._repair_queue: Dict[str, Dict[str, Any]] = {}
+        self._repair_flush_scheduled = False
+        # Adaptive deadlines: EWMA of each replica's observed ack latency.
+        self._ack_latency_ewma: Dict[str, float] = {}
         # Merkle exchange state: sessions this node started (it owns the tree
         # snapshot and the descent), and per-peer cached trees for exchanges
         # started by others (so digests stay consistent across levels).
@@ -349,6 +400,7 @@ class MessageServer:
             return
         if message.sender in pending.replied_nodes:
             return  # duplicate delivery
+        self._observe_ack_latency(pending, message.sender)
         self.cluster.transport.cancel_deadline(pending.deadlines.pop(message.sender, None))
         pending.replies.append((message.sender, message.payload["state"]))
         pending.replied_nodes.append(message.sender)
@@ -370,17 +422,11 @@ class MessageServer:
         self.node.local_merge(pending.key, merged_state)
         read = self.mechanism.read(self.node.state_of(pending.key))
 
-        # Repair the stale replicas in the background.
+        # Repair the stale replicas in the background (coalesced per target).
         for replica_id in plan.stale_replicas:
             if replica_id == self.node_id:
                 continue
-            self.cluster.transport.send(Message(
-                sender=self.node_id,
-                receiver=replica_id,
-                msg_type=MessageType.READ_REPAIR,
-                payload={"key": pending.key, "state": merged_state},
-                size_bytes=self._state_size(pending.key, merged_state),
-            ))
+            self._queue_read_repair(replica_id, pending.key, merged_state)
 
         context_bytes = self.mechanism.context_bytes(read.context)
         values_bytes = sum(default_value_size(s.value) for s in read.siblings)
@@ -533,11 +579,49 @@ class MessageServer:
                 request_id=coordination_id,
             )
         self.cluster.transport.send(message)
+        pending.sent_at[replica_id] = self.cluster.simulation.now
         pending.deadlines[replica_id] = self.cluster.transport.schedule_deadline(
-            self.cluster.replica_timeout_ms,
+            self._replica_deadline_ms(replica_id),
             lambda: self._on_replica_deadline(coordination_id, replica_id),
             label=f"replica-deadline:{pending.kind}:{replica_id}",
         )
+
+    def _replica_deadline_ms(self, replica_id: str) -> float:
+        """How long to wait for this replica's ack before giving up on it.
+
+        ``deadline_mode="fixed"`` uses the cluster-wide ``replica_timeout_ms``.
+        ``"adaptive"`` scales an EWMA of the replica's observed ack latency by
+        :data:`ADAPTIVE_DEADLINE_MULTIPLIER`, clamped to the configured
+        floor/ceiling — fast replicas are declared late sooner (failover
+        happens in a few of their round trips, not a worst-case constant),
+        while the floor keeps one latency spike from triggering a storm of
+        spurious handoffs.  A replica never observed falls back to the fixed
+        timeout.
+        """
+        if self.cluster.deadline_mode != "adaptive":
+            return self.cluster.replica_timeout_ms
+        ewma = self._ack_latency_ewma.get(replica_id)
+        if ewma is None:
+            return self.cluster.replica_timeout_ms
+        deadline = ewma * ADAPTIVE_DEADLINE_MULTIPLIER
+        return max(self.cluster.deadline_floor_ms,
+                   min(deadline, self.cluster.deadline_ceiling_ms))
+
+    def _observe_ack_latency(self, pending: _PendingCoordination,
+                             replica_id: str) -> None:
+        """Fold one observed ack round trip into the replica's latency EWMA."""
+        sent_at = pending.sent_at.pop(replica_id, None)
+        if sent_at is None:
+            return
+        observed = self.cluster.simulation.now - sent_at
+        previous = self._ack_latency_ewma.get(replica_id)
+        if previous is None:
+            self._ack_latency_ewma[replica_id] = observed
+        else:
+            self._ack_latency_ewma[replica_id] = (
+                DEADLINE_EWMA_ALPHA * observed
+                + (1.0 - DEADLINE_EWMA_ALPHA) * previous
+            )
 
     def _arm_request_deadline(self, coordination_id: int,
                               pending: _PendingCoordination) -> None:
@@ -650,6 +734,7 @@ class MessageServer:
             return
         if message.sender in pending.replied_nodes:
             return  # duplicate delivery
+        self._observe_ack_latency(pending, message.sender)
         self.cluster.transport.cancel_deadline(pending.deadlines.pop(message.sender, None))
         pending.replied_nodes.append(message.sender)
         if pending.done:
@@ -701,8 +786,62 @@ class MessageServer:
     # ------------------------------------------------------------------ #
     # Read repair / anti-entropy
     # ------------------------------------------------------------------ #
+    def _queue_read_repair(self, target_id: str, key: str, state: Any) -> None:
+        """Coalesce repair pushes: one READ_REPAIR message per target replica.
+
+        A busy coordinator repairing many keys to the same stale replica pays
+        one message (and one per-message overhead) per batch instead of one
+        per key — the same amortisation MERKLE_KEY_STATES batching applies to
+        sync transfers.  A full batch flushes immediately; otherwise a short
+        coalescing window (``read_repair_batch_ms``) gathers repairs from
+        nearby reads.  Queued repairs hold the merged state observed at plan
+        time; a newer repair for the same key simply replaces it (merges are
+        idempotent, so the worst case of losing the race is a second repair
+        on a later read).
+        """
+        batch = self._repair_queue.setdefault(target_id, {})
+        batch[key] = state
+        if (len(batch) >= self.cluster.sync_batch_size
+                or self.cluster.read_repair_batch_ms <= 0):
+            self._flush_read_repairs(target_id)
+        elif not self._repair_flush_scheduled:
+            self._repair_flush_scheduled = True
+            self.cluster.simulation.schedule(
+                self.cluster.read_repair_batch_ms,
+                self._flush_all_read_repairs,
+                label=f"read-repair-flush:{self.node_id}",
+            )
+
+    def _flush_all_read_repairs(self) -> None:
+        self._repair_flush_scheduled = False
+        if not self.cluster.transport.is_registered(self.node_id):
+            # The coordinator crashed while the coalescing window was open.
+            # The queue is process memory, not disk: it dies with the crash
+            # (read repair is opportunistic — a later read repairs again).
+            self._repair_queue.clear()
+            return
+        for target_id in sorted(self._repair_queue):
+            self._flush_read_repairs(target_id)
+
+    def _flush_read_repairs(self, target_id: str) -> None:
+        states = self._repair_queue.pop(target_id, None)
+        if not states:
+            return
+        self.read_repair_stats.batches_sent += 1
+        size = (sum(self._payload_state_size(key, state)
+                    for key, state in states.items())
+                + self.cluster.request_overhead_bytes)
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=target_id,
+            msg_type=MessageType.READ_REPAIR,
+            payload={"states": states},
+            size_bytes=size,
+        ))
+
     def _on_read_repair(self, message: Message) -> None:
-        self.node.local_merge(message.payload["key"], message.payload["state"])
+        for key, state in message.payload["states"].items():
+            self.node.local_merge(key, state)
 
     def _on_sync_request(self, message: Message) -> None:
         states = message.payload["states"]
@@ -727,11 +866,29 @@ class MessageServer:
     # ------------------------------------------------------------------ #
     # Merkle-delta anti-entropy (hashtree exchange)
     # ------------------------------------------------------------------ #
-    def start_merkle_sync_with(self, peer_id: str) -> None:
-        """Begin a Merkle-delta exchange with ``peer_id`` (level-by-level)."""
-        tree = MerkleTree.for_node(self.node,
+    def _merkle_tree(self) -> MerkleTree:
+        """This node's hash tree for one exchange session.
+
+        With incremental maintenance (the default) this snapshots the
+        write-maintained :class:`~repro.kvstore.merkle_index.MerkleIndex` —
+        digests were kept current by the mutation listener, so the only work
+        left is flushing dirty buckets and copying digests out.  In
+        ``merkle_maintenance="rebuild"`` mode (the pre-index behaviour, kept
+        for the maintenance-cost ablation) the whole key space is re-hashed
+        and the cost is counted in the node's ``full_rebuilds`` /
+        ``keys_hashed`` stats.
+        """
+        if self.node.merkle_index is not None:
+            return self.node.merkle_index.snapshot()
+        self.node.stats["full_rebuilds"] += 1
+        self.node.stats["keys_hashed"] += len(self.node.storage)
+        return MerkleTree.for_node(self.node,
                                    fanout=self.cluster.merkle_fanout,
                                    depth=self.cluster.merkle_depth)
+
+    def start_merkle_sync_with(self, peer_id: str) -> None:
+        """Begin a Merkle-delta exchange with ``peer_id`` (level-by-level)."""
+        tree = self._merkle_tree()
         # A lost message leaves a session dangling; starting a new exchange
         # with the same peer supersedes any older one.
         self._merkle_sessions = {
@@ -770,9 +927,7 @@ class MessageServer:
         if cached is None or cached[0] != session_id:
             # First message of this session (or the level-0 message was lost
             # and a deeper one arrived) — snapshot a fresh tree for it.
-            tree = MerkleTree.for_node(self.node,
-                                       fanout=self.cluster.merkle_fanout,
-                                       depth=self.cluster.merkle_depth)
+            tree = self._merkle_tree()
             self._merkle_peer_trees[message.sender] = (session_id, tree)
         else:
             tree = cached[1]
@@ -934,6 +1089,28 @@ class MessageServer:
 
     def _on_ping(self, message: Message) -> None:
         self.cluster.transport.send(message.reply(MessageType.PONG))
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    def on_recover(self, wipe: bool) -> None:
+        """Recover from a crash: disk handling plus process-memory cleanup.
+
+        The disk either survived (restart: the Merkle index is rebuilt from
+        it) or did not (wipe: storage and index are emptied).  Process memory
+        died either way: queued read-repair pushes, in-flight Merkle exchange
+        snapshots and the replica-latency EWMAs are discarded here — any new
+        process state added to MessageServer that should not survive a crash
+        belongs in this method.
+        """
+        if wipe:
+            self.node.wipe()
+        else:
+            self.node.restart()
+        self._repair_queue.clear()
+        self._merkle_sessions.clear()
+        self._merkle_peer_trees.clear()
+        self._ack_latency_ewma.clear()
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -1255,9 +1432,32 @@ class SimulatedCluster:
         ``client_timeout_ms`` (1.5 × the request timeout by default) before
         failing over to the next candidate coordinator.
     sync_batch_size:
-        Keys per MERKLE_KEY_STATES / HINT_REPLAY / KEY_HANDOFF message.
+        Keys per MERKLE_KEY_STATES / HINT_REPLAY / KEY_HANDOFF message (also
+        the read-repair batch size).
     merkle_fanout / merkle_depth:
         Shape of the hash trees used by the Merkle-delta exchange.
+    merkle_maintenance:
+        ``"incremental"`` (default) — every server carries a write-maintained
+        :class:`~repro.kvstore.merkle_index.MerkleIndex` and exchanges take
+        cheap digest snapshots; ``"rebuild"`` — the pre-index behaviour of
+        re-hashing the whole key space per exchange, kept for the
+        maintenance-cost ablation.
+    read_repair_batch_ms:
+        Coalescing window for read-repair pushes: repairs destined for the
+        same stale replica within this window ride one READ_REPAIR message
+        (a full ``sync_batch_size`` batch flushes immediately; ``0`` disables
+        coalescing and sends each repair at once).
+    deadline_mode:
+        Async-mode per-replica deadlines: ``"fixed"`` (default) arms
+        ``replica_timeout_ms`` for every replica; ``"adaptive"`` arms an EWMA
+        of the replica's observed ack latency scaled by
+        :data:`ADAPTIVE_DEADLINE_MULTIPLIER` and clamped to
+        [``deadline_floor_ms``, ``deadline_ceiling_ms``].
+    deadline_floor_ms / deadline_ceiling_ms:
+        Clamp for adaptive deadlines.  The ceiling defaults to
+        ``replica_timeout_ms`` so adaptation only ever tightens failure
+        detection; the floor keeps a single latency spike from mass-expiring
+        healthy replicas.
     """
 
     def __init__(self,
@@ -1278,6 +1478,11 @@ class SimulatedCluster:
                  sync_batch_size: int = 16,
                  merkle_fanout: int = 16,
                  merkle_depth: int = 2,
+                 merkle_maintenance: str = "incremental",
+                 read_repair_batch_ms: float = 2.0,
+                 deadline_mode: str = "fixed",
+                 deadline_floor_ms: float = 2.0,
+                 deadline_ceiling_ms: Optional[float] = None,
                  virtual_nodes: int = 32,
                  request_overhead_bytes: int = 64) -> None:
         if not server_ids:
@@ -1291,8 +1496,32 @@ class SimulatedCluster:
             raise ConfigurationError(
                 f"unknown request mode {request_mode!r}; choose from {REQUEST_MODES}"
             )
+        if merkle_maintenance not in MERKLE_MAINTENANCE_MODES:
+            raise ConfigurationError(
+                f"unknown merkle maintenance mode {merkle_maintenance!r}; "
+                f"choose from {MERKLE_MAINTENANCE_MODES}"
+            )
+        if deadline_mode not in DEADLINE_MODES:
+            raise ConfigurationError(
+                f"unknown deadline mode {deadline_mode!r}; choose from {DEADLINE_MODES}"
+            )
         if replica_timeout_ms <= 0 or request_timeout_ms <= 0:
             raise ConfigurationError("async timeouts must be positive")
+        if read_repair_batch_ms < 0:
+            raise ConfigurationError(
+                f"read_repair_batch_ms must be >= 0, got {read_repair_batch_ms}"
+            )
+        if deadline_floor_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_floor_ms must be positive, got {deadline_floor_ms}"
+            )
+        resolved_ceiling = (deadline_ceiling_ms if deadline_ceiling_ms is not None
+                            else replica_timeout_ms)
+        if resolved_ceiling < deadline_floor_ms:
+            raise ConfigurationError(
+                f"deadline_ceiling_ms ({resolved_ceiling}) must be >= "
+                f"deadline_floor_ms ({deadline_floor_ms})"
+            )
         if sync_batch_size < 1:
             raise ConfigurationError(f"sync_batch_size must be >= 1, got {sync_batch_size}")
         self.mechanism = mechanism
@@ -1322,6 +1551,11 @@ class SimulatedCluster:
         self.sync_batch_size = sync_batch_size
         self.merkle_fanout = merkle_fanout
         self.merkle_depth = merkle_depth
+        self.merkle_maintenance = merkle_maintenance
+        self.read_repair_batch_ms = read_repair_batch_ms
+        self.deadline_mode = deadline_mode
+        self.deadline_floor_ms = deadline_floor_ms
+        self.deadline_ceiling_ms = resolved_ceiling
         self.merkle_stats = MerkleSyncStats()
         self._anti_entropy_interval_ms = anti_entropy_interval_ms
         self._departed_stats: Dict[str, int] = {}
@@ -1420,10 +1654,13 @@ class SimulatedCluster:
         ``wipe=True`` the node rejoins with empty storage (disk loss), losing
         both its key states and its held hints, and must be repopulated by
         other nodes' hint replays and anti-entropy.
+
+        The incremental Merkle index follows the disk's fate either way: a
+        restart rebuilds it from the surviving storage (the in-memory tree
+        died with the process), a wipe empties it alongside the key states.
         """
         server = self.servers[server_id]
-        if wipe:
-            server.node.storage = NodeStorage(self.mechanism)
+        server.on_recover(wipe)
         if not self.transport.is_registered(server_id):
             self.transport.register(server_id, server.handle_message)
         self.membership.mark_up(server_id)

@@ -21,9 +21,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..clocks.interface import CausalityMechanism
+
+#: A storage mutation listener: called with ``(key, state)`` after every
+#: state change, where ``state`` is the new mechanism state or ``None`` when
+#: the key was dropped.  The incremental Merkle index subscribes one of these
+#: so every write path — client puts, replica merges, read repair, hint
+#: replay, handoff ingestion — keeps the hash tree current.
+MutationListener = Callable[[str, Any], None]
 
 
 @dataclass
@@ -49,6 +56,29 @@ class NodeStorage:
         self._states: Dict[str, Any] = {}
         self._hints: Dict[str, List[Hint]] = {}
         self._hint_ids = itertools.count(1)
+        self._listeners: List[MutationListener] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation listeners
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: MutationListener) -> None:
+        """Register a callback fired after every state mutation.
+
+        The listener receives ``(key, state)`` with ``state=None`` when the
+        key was dropped.  Listeners belong to the process, not the disk: a
+        wiped or replaced storage starts with none.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: MutationListener) -> None:
+        """Remove a previously registered mutation listener (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, key: str, state: Any) -> None:
+        for listener in self._listeners:
+            listener(key, state)
 
     # ------------------------------------------------------------------ #
     # State access
@@ -68,12 +98,15 @@ class NodeStorage:
         """Replace the stored state for ``key`` (dropping it when empty)."""
         if self._mechanism.is_empty(state):
             self._states.pop(key, None)
+            self._notify(key, None)
         else:
             self._states[key] = state
+            self._notify(key, state)
 
     def delete(self, key: str) -> None:
         """Remove a key entirely."""
         self._states.pop(key, None)
+        self._notify(key, None)
 
     def has_key(self, key: str) -> bool:
         """True iff the node holds live versions for ``key``."""

@@ -328,6 +328,191 @@ class TestMerkleAntiEntropyProtocol:
             assert sent >= 2  # batches of two keys each
 
 
+class TestBatchedReadRepair:
+    def stale_replica_setup(self, keys=12):
+        """Converge, crash n3, write late versions, restart n3 stale."""
+        cluster = build_cluster(quorum=QuorumConfig(n=3, r=3, w=2),
+                                hint_replay_interval_ms=None)
+        client = seed_converged(cluster, [f"k{i}" for i in range(keys)])
+        cluster.run_anti_entropy_round()
+        assert cluster.is_converged()
+        # Keys coordinated by n1 while everyone is up: reads after recovery
+        # route through n1 again, so n1 is the node whose repair queue we
+        # observe (a key coordinated by n3 would repair n3 locally instead).
+        stale_keys = [key for key in cluster.key_universe()
+                      if cluster.placement.coordinator_for(key) == "n1"]
+        cluster.fail_node("n3")
+        for key in stale_keys:
+            client.get(key, lambda _r, k=key: client.put(k, f"{k}-late"))
+        cluster.simulation.run_until_idle()
+        cluster.recover_node("n3")   # restart: pre-crash (stale) state kept
+        return cluster, client, stale_keys
+
+    def test_repairs_to_one_replica_coalesce_into_one_message(self):
+        cluster, client, stale_keys = self.stale_replica_setup()
+        assert len(stale_keys) >= 2, "setup needs several keys on one coordinator"
+        before = cluster.transport.stats.per_type.get("read_repair", 0)
+        for key in stale_keys:
+            client.get(key)   # R=3 reads notice n3's stale copies
+        cluster.drain()
+        messages = cluster.transport.stats.per_type.get("read_repair", 0) - before
+        coordinator = cluster.servers["n1"]
+        repaired = coordinator.read_repair_stats.replicas_repaired
+        assert repaired >= len(stale_keys)
+        # Coalescing is the point: strictly fewer messages than repaired
+        # (key, replica) pairs, mirroring MERKLE_KEY_STATES batching.
+        assert 0 < messages < repaired
+        assert coordinator.read_repair_stats.batches_sent == messages
+        for key in stale_keys:
+            assert f"{key}-late" in map(str, cluster.servers["n3"].node.values_of(key))
+
+    def test_byte_accounting_preserved(self):
+        cluster, client, stale_keys = self.stale_replica_setup()
+        stats = cluster.transport.stats
+        before_sent = stats.bytes_per_type.get("read_repair", 0)
+        before_delivered = stats.delivered_bytes_per_type.get("read_repair", 0)
+        for key in stale_keys:
+            client.get(key)
+        cluster.drain()
+        sent = stats.bytes_per_type.get("read_repair", 0) - before_sent
+        delivered = stats.delivered_bytes_per_type.get("read_repair", 0) - before_delivered
+        assert sent > 0
+        assert delivered == sent      # healed cluster: nothing dropped
+        assert stats.bytes_for("read_repair") == stats.attempted_bytes_for("read_repair")
+
+    def test_zero_window_sends_immediately(self):
+        cluster = build_cluster(quorum=QuorumConfig(n=3, r=3, w=1),
+                                hint_replay_interval_ms=None,
+                                read_repair_batch_ms=0.0)
+        client = cluster.client("alice")
+        client.put("k", "v1")
+        cluster.run(until=30)
+        client.get("k")
+        cluster.drain()
+        holding = [server_id for server_id, server in cluster.servers.items()
+                   if server.node.values_of("k") == ["v1"]]
+        assert len(holding) == 3
+
+    def test_full_batch_flushes_without_waiting(self):
+        cluster, client, stale_keys = self.stale_replica_setup()
+        cluster.sync_batch_size = 1   # every queued repair is a full batch
+        before = cluster.transport.stats.per_type.get("read_repair", 0)
+        for key in stale_keys:
+            client.get(key)
+        cluster.drain()
+        messages = cluster.transport.stats.per_type.get("read_repair", 0) - before
+        assert messages >= len(stale_keys)   # no coalescing at batch size 1
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(Exception):
+            build_cluster(read_repair_batch_ms=-1.0)
+
+    def test_crash_during_window_drops_queued_repairs(self):
+        """A coordinator crashing mid-window must not emit repairs while down:
+        the queue is process memory and dies with the crash."""
+        cluster, client, stale_keys = self.stale_replica_setup()
+        for key in stale_keys:
+            client.get(key)
+        # Run just long enough for the replica replies to arrive (three 1ms
+        # hops) and the repairs to queue, but not for the 2ms coalescing
+        # window that starts at reply time to close.
+        cluster.run(until=cluster.simulation.now + 3.5)
+        coordinator = cluster.servers["n1"]
+        assert coordinator._repair_queue, "setup: repairs should be queued"
+        before = cluster.transport.stats.per_type.get("read_repair", 0)
+        cluster.fail_node("n1")
+        cluster.run(until=cluster.simulation.now + 20.0)
+        assert cluster.transport.stats.per_type.get("read_repair", 0) == before
+        assert not coordinator._repair_queue
+        cluster.recover_node("n1", wipe=True)
+        cluster.drain()
+        assert cluster.transport.stats.per_type.get("read_repair", 0) == before
+
+
+class TestAdaptiveDeadlines:
+    def build_adaptive(self, **kwargs):
+        kwargs.setdefault("server_ids", ("n1", "n2", "n3", "n4", "n5"))
+        kwargs.setdefault("quorum", QuorumConfig(n=3, r=2, w=2, sloppy=True))
+        kwargs.setdefault("request_mode", "async")
+        kwargs.setdefault("replica_timeout_ms", 6.0)
+        kwargs.setdefault("request_timeout_ms", 30.0)
+        kwargs.setdefault("deadline_mode", "adaptive")
+        return build_cluster(**kwargs)
+
+    def test_configuration_validated(self):
+        from repro.core.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            build_cluster(deadline_mode="prophetic")
+        with pytest.raises(ConfigurationError):
+            self.build_adaptive(deadline_floor_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            self.build_adaptive(deadline_floor_ms=5.0, deadline_ceiling_ms=1.0)
+
+    def test_deadline_tracks_ewma_within_floor_and_ceiling(self):
+        cluster = self.build_adaptive(deadline_floor_ms=2.0)
+        server = next(iter(cluster.servers.values()))
+        # never observed: fall back to the fixed timeout
+        assert server._replica_deadline_ms("peer") == cluster.replica_timeout_ms
+        server._ack_latency_ewma["peer"] = 1.0
+        assert server._replica_deadline_ms("peer") == pytest.approx(3.0)  # 3x EWMA
+        server._ack_latency_ewma["peer"] = 0.1
+        assert server._replica_deadline_ms("peer") == pytest.approx(2.0)  # floor
+        server._ack_latency_ewma["peer"] = 100.0
+        assert server._replica_deadline_ms("peer") == pytest.approx(
+            cluster.deadline_ceiling_ms)                                  # ceiling
+
+    def test_fixed_mode_ignores_observations(self):
+        cluster = self.build_adaptive(deadline_mode="fixed")
+        server = next(iter(cluster.servers.values()))
+        server._ack_latency_ewma["peer"] = 1.0
+        assert server._replica_deadline_ms("peer") == cluster.replica_timeout_ms
+
+    def test_acks_feed_the_ewma(self):
+        cluster = self.build_adaptive()
+        client = cluster.client("alice")
+        for i in range(6):
+            client.put("k", f"v{i}")
+            cluster.run(until=cluster.simulation.now + 40.0)
+        observed = [server._ack_latency_ewma
+                    for server in cluster.servers.values()
+                    if server._ack_latency_ewma]
+        assert observed, "coordinators should have recorded ack latencies"
+        for ewma_map in observed:
+            for latency in ewma_map.values():
+                assert latency > 0
+
+    def test_healthy_cluster_serves_under_adaptive_deadlines(self):
+        cluster = self.build_adaptive()
+        client = cluster.client("alice")
+        outcomes = {}
+        client.put("k", "v1", lambda result: outcomes.setdefault("put", result))
+        cluster.run(until=60)
+        client.get("k", lambda result: outcomes.setdefault("get", result))
+        cluster.drain()
+        assert outcomes["put"] is not None
+        assert outcomes["get"].values == ["v1"]
+        assert all(record.ok for record in cluster.all_request_records())
+
+    def test_crashed_primary_still_handed_off(self):
+        """Tightened deadlines must not break the sloppy-quorum handoff path."""
+        cluster = self.build_adaptive()
+        key = "k"
+        client = cluster.client("alice")
+        # Warm the EWMAs so the adaptive path (not the fixed fallback) is used.
+        for i in range(4):
+            client.put(key, f"warm{i}")
+            cluster.run(until=cluster.simulation.now + 40.0)
+        victim = cluster.placement.primary_replicas(key)[2]
+        cluster.fail_node(victim)
+        outcomes = {}
+        client.put(key, "v1", lambda result: outcomes.setdefault("put", result))
+        cluster.run(until=cluster.simulation.now + 100.0)
+        assert outcomes["put"] is not None
+        holders = [server_id for server_id, server in cluster.servers.items()
+                   if server.node.hints_for(victim)]
+        assert holders and victim not in holders
+
+
 class TestHintedHandoff:
     def test_write_to_down_primary_stores_hint(self):
         cluster = build_cluster(hint_replay_interval_ms=None)
