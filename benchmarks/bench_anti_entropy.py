@@ -20,6 +20,7 @@ strictly fewer bytes than the full-state exchange on a mostly-synced store.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -228,6 +229,47 @@ def cluster_tree_work(keys: int, maintenance: str, seed: int = 9):
     return delta, rounds, cluster
 
 
+def handoff_tree_work(keys: int, seed: int = 9) -> dict:
+    """Hash-tree work a whole-vnode handoff costs (join of an empty node).
+
+    Builds a converged cluster, joins a fresh node ``D`` (the ring rebalances
+    and the moved ranges' keys are pushed via KEY_HANDOFF with their
+    maintained fingerprints riding along), and returns the deltas of the
+    relevant counters.  The vnode-scoped contract: the receiver *imports*
+    the sender's digests, so the handoff hashes ~zero new fingerprints no
+    matter how many keys move.
+    """
+    cluster = build_diverged_cluster(keys, seed=seed)
+    cluster.converge()
+    totals = cluster.stat_totals()
+    hashed_before = totals.get("keys_hashed", 0)
+    imported_before = totals.get("fingerprints_imported", 0)
+    handed_off = cluster.join_node("D")
+    cluster.simulation.run_until_idle()
+    totals = cluster.stat_totals()
+    return {
+        "keys_moved": handed_off,
+        "keys_hashed": totals.get("keys_hashed", 0) - hashed_before,
+        "fingerprints_imported": totals.get("fingerprints_imported", 0) - imported_before,
+    }
+
+
+def per_range_exchange_stats(keys: int, seed: int = 9) -> dict:
+    """Range-comparison counters one convergence costs with per-vnode trees."""
+    cluster = build_diverged_cluster(keys, seed=seed)
+    compared_before = cluster.merkle_stats.partitions_compared
+    differing_before = cluster.merkle_stats.partitions_differing
+    transferred_before = cluster.merkle_stats.keys_transferred
+    rounds = cluster.converge()
+    return {
+        "rounds": rounds,
+        "partitions_compared": cluster.merkle_stats.partitions_compared - compared_before,
+        "partitions_differing": cluster.merkle_stats.partitions_differing - differing_before,
+        "keys_transferred": cluster.merkle_stats.keys_transferred - transferred_before,
+        "partition_count": len(cluster.partition_map),
+    }
+
+
 CLUSTER_KEY_COUNTS = [20, 60, 150]
 
 
@@ -299,6 +341,42 @@ def test_report_tree_maintenance_cost(tree_work_sweep, publish):
         # keys diverged, converging must re-fingerprint fewer keys than the
         # store holds, while a single rebuild already hashes all of them.
         assert incremental["keys_hashed"] < keys
+
+
+def test_report_per_range_exchange(publish):
+    """Per-vnode series: range comparisons confine descents to dirty ranges."""
+    sweep = {keys: per_range_exchange_stats(keys) for keys in CLUSTER_KEY_COUNTS}
+    table = render_table(
+        ["keys", "ranges compared", "ranges descended", "keys transferred", "rounds"],
+        [[keys, stats["partitions_compared"], stats["partitions_differing"],
+          stats["keys_transferred"], stats["rounds"]]
+         for keys, stats in sweep.items()],
+        title="Simulated cluster — per-range exchange work until convergence "
+              "(10% keys divergent)",
+    )
+    publish("cluster_per_range_exchange", table)
+    for keys, stats in sweep.items():
+        # only divergent ranges are descended, and there is always at least
+        # one (the divergence exists) but never all of them (90% is synced)
+        assert 0 < stats["partitions_differing"] < stats["partitions_compared"]
+
+
+def test_report_handoff_tree_work(publish):
+    """Handoff series: moving a vnode's keys imports digests, hashes ~nothing."""
+    sweep = {keys: handoff_tree_work(keys) for keys in CLUSTER_KEY_COUNTS}
+    table = render_table(
+        ["keys", "keys moved", "keys hashed", "fingerprints imported"],
+        [[keys, stats["keys_moved"], stats["keys_hashed"],
+          stats["fingerprints_imported"]]
+         for keys, stats in sweep.items()],
+        title="Simulated cluster — hash-tree work per join handoff",
+    )
+    publish("cluster_handoff_tree_work", table)
+    for keys, stats in sweep.items():
+        assert stats["keys_moved"] > 0
+        assert stats["fingerprints_imported"] >= stats["keys_moved"]
+        # O(1), not O(keys moved): the receiver adopts maintained digests
+        assert stats["keys_hashed"] == 0
 
 
 def test_maintenance_modes_reach_identical_states():
@@ -375,16 +453,21 @@ def test_report_sloppy_availability(availability_sweep, publish):
         assert availability_sweep[mode][0].converged
 
 
-def run_smoke(keys: int = 60) -> int:
+def run_smoke(keys: int = 60,
+              results_path: str = "BENCH_anti_entropy.json") -> int:
     """Quick regression gate for CI.
 
-    Three checks: (1) merkle-delta anti-entropy must transfer fewer bytes
+    Four checks: (1) merkle-delta anti-entropy must transfer fewer bytes
     than the full-state exchange; (2) on a large keyspace, the incremental
     Merkle index must do less hash-tree work per convergence than rebuilding
-    the trees per exchange; (3) under a partition, the async request mode's
-    sloppy quorums must complete writes that strict quorums fail, and still
-    converge after healing.
+    the trees per exchange; (3) a whole-vnode join handoff must import the
+    sender's maintained fingerprints instead of re-hashing the moved states
+    (O(1) fresh fingerprints, not O(keys moved)); (4) under a partition, the
+    async request mode's sloppy quorums must complete writes that strict
+    quorums fail, and still converge after healing.  The measured numbers are
+    written to ``results_path`` as JSON for CI artifacts.
     """
+    results: dict = {"keys": keys}
     full_bytes, full_rounds, _ = cluster_sync_bytes(keys, "full")
     merkle_bytes, merkle_rounds, merkle_cluster = cluster_sync_bytes(keys, "merkle")
     print(render_table(
@@ -401,6 +484,10 @@ def run_smoke(keys: int = 60) -> int:
         return 1
     print(f"OK: merkle-delta saves {full_bytes - merkle_bytes} bytes "
           f"({full_bytes / max(merkle_bytes, 1):.1f}x)")
+    results["sync_bytes"] = {"full": full_bytes, "merkle": merkle_bytes,
+                             "full_rounds": full_rounds,
+                             "merkle_rounds": merkle_rounds}
+    results["per_range_exchange"] = per_range_exchange_stats(keys)
 
     # Incremental hash-tree maintenance: a large keyspace so the O(keys)
     # rebuild cost is unmistakable against the O(divergence) index cost.
@@ -432,6 +519,30 @@ def run_smoke(keys: int = 60) -> int:
     print(f"OK: incremental index hashed {incremental_hashed} key fingerprints "
           f"vs {rebuild_hashed} for per-exchange rebuilds "
           f"({rebuild_hashed / max(incremental_hashed, 1):.1f}x less tree work)")
+    results["tree_work"] = {mode: dict(delta, rounds=rounds)
+                            for mode, (delta, rounds, _c) in work.items()}
+
+    # Whole-vnode handoff: the moved keys' digests must travel with them.
+    handoff = handoff_tree_work(keys)
+    print(render_table(
+        ["keys moved", "keys hashed", "fingerprints imported"],
+        [[handoff["keys_moved"], handoff["keys_hashed"],
+          handoff["fingerprints_imported"]]],
+        title=f"Vnode handoff smoke (join of an empty node, {keys} keys held)",
+    ))
+    results["handoff"] = handoff
+    if handoff["keys_moved"] <= 0:
+        print("FAIL: the join handoff moved no keys (the scenario stopped "
+              "exercising rebalancing)", file=sys.stderr)
+        return 1
+    if handoff["keys_hashed"] > max(2, handoff["keys_moved"] // 10):
+        print("FAIL: vnode handoff re-hashes the moved states instead of "
+              f"importing maintained fingerprints ({handoff['keys_hashed']} "
+              f"hashed for {handoff['keys_moved']} keys moved)", file=sys.stderr)
+        return 1
+    print(f"OK: handoff moved {handoff['keys_moved']} keys, imported "
+          f"{handoff['fingerprints_imported']} fingerprints, hashed "
+          f"{handoff['keys_hashed']} fresh ones")
 
     sweeps = {mode: availability_under_partition(mode) for mode in QUORUM_MODES}
     print(render_table(
@@ -458,6 +569,15 @@ def run_smoke(keys: int = 60) -> int:
     print(f"OK: sloppy quorums completed {sloppy_report.requests_completed} requests "
           f"({sloppy_report.requests_failed} failed) vs strict "
           f"{strict_report.requests_completed} ({strict_report.requests_failed} failed)")
+    results["availability"] = {
+        mode: {"completed": report.requests_completed,
+               "failed": report.requests_failed,
+               "mean_put_ms": round(mean_put_ms, 3),
+               "converged": report.converged}
+        for mode, (report, mean_put_ms) in sweeps.items()
+    }
+    pathlib.Path(results_path).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {results_path}")
     return 0
 
 
@@ -468,7 +588,9 @@ if __name__ == "__main__":
     parser.add_argument("--smoke", action="store_true",
                         help="run the quick full-vs-merkle byte regression check")
     parser.add_argument("--keys", type=int, default=60)
+    parser.add_argument("--out", default="BENCH_anti_entropy.json",
+                        help="where --smoke writes its measured numbers as JSON")
     args = parser.parse_args()
     if not args.smoke:
         parser.error("run under pytest for the full benchmark, or pass --smoke")
-    raise SystemExit(run_smoke(keys=args.keys))
+    raise SystemExit(run_smoke(keys=args.keys, results_path=args.out))

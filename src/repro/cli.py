@@ -196,6 +196,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         request_mode=args.request_mode,
         deadline_mode=args.deadline_mode,
         merkle_maintenance=args.merkle_maintenance,
+        partition_count=args.partitions,
         seed=args.seed,
     )
     workload = ClosedLoopConfig(
@@ -231,6 +232,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ["merkle keys hashed", stats.get("keys_hashed", 0)],
             ["merkle buckets rehashed", stats.get("buckets_rehashed", 0)],
             ["merkle full rebuilds", stats.get("full_rebuilds", 0)],
+            ["merkle fingerprints imported", stats.get("fingerprints_imported", 0)],
+            ["vnode partitions", args.partitions],
+            ["partitions compared", cluster.merkle_stats.partitions_compared],
+            ["partitions differing", cluster.merkle_stats.partitions_differing],
         ],
         title="Simulated cluster run",
     ))
@@ -317,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["incremental", "rebuild"], dest="merkle_maintenance",
                          help="incremental: write-maintained hash trees (Riak-style); "
                               "rebuild: re-hash the key space on every exchange")
+    cluster.add_argument("--partitions", type=int, default=16,
+                         help="fixed vnode partition count: each server keeps one "
+                              "store and one Merkle tree per key range")
     cluster.add_argument("--servers", type=int, default=3)
     cluster.add_argument("--clients", type=int, default=16)
     cluster.add_argument("--keys", type=int, default=2)

@@ -2,14 +2,22 @@
 
 from .membership import Membership, MembershipListener, NodeInfo, NodeStatus
 from .preference_list import PlacementService, QuorumConfig
-from .ring import ConsistentHashRing, RebalanceMove, rebalance_plan
+from .ring import (
+    DEFAULT_PARTITION_COUNT,
+    ConsistentHashRing,
+    PartitionMap,
+    RebalanceMove,
+    rebalance_plan,
+)
 
 __all__ = [
+    "DEFAULT_PARTITION_COUNT",
     "ConsistentHashRing",
     "Membership",
     "MembershipListener",
     "NodeInfo",
     "NodeStatus",
+    "PartitionMap",
     "PlacementService",
     "QuorumConfig",
     "RebalanceMove",

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 
 from ..core.exceptions import ConfigurationError
 from .membership import Membership
-from .ring import ConsistentHashRing
+from .ring import ConsistentHashRing, PartitionMap
 
 
 @dataclass(frozen=True)
@@ -53,10 +53,19 @@ class PlacementService:
     def __init__(self,
                  ring: ConsistentHashRing,
                  membership: Membership,
-                 config: Optional[QuorumConfig] = None) -> None:
+                 config: Optional[QuorumConfig] = None,
+                 partition_map: Optional[PartitionMap] = None) -> None:
         self.ring = ring
         self.membership = membership
         self.config = config or QuorumConfig()
+        #: Range ↔ vnode mapping shared by every node's storage layout; a
+        #: default map is used when the caller does not supply the
+        #: cluster-wide one.
+        self.partition_map = partition_map or PartitionMap()
+
+    def partition_of(self, key: str) -> int:
+        """The storage partition (vnode range) ``key`` belongs to."""
+        return self.partition_map.partition_of(key)
 
     # ------------------------------------------------------------------ #
     # Placement queries
@@ -124,6 +133,7 @@ class PlacementService:
         """Placement snapshot for diagnostics and examples."""
         return {
             "key": key,
+            "partition": self.partition_of(key),
             "primary": self.primary_replicas(key),
             "active": self.active_replicas(key),
             "extended": self.extended_preference_list(key),

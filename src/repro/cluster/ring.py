@@ -24,6 +24,67 @@ def _hash_position(token: str) -> int:
     return int.from_bytes(hashlib.md5(token.encode("utf-8")).digest(), "big")
 
 
+#: Ring-space width: positions are 128-bit md5 values.
+RING_BITS = 128
+
+#: Default number of fixed partitions a node's key space is divided into.
+#: Riak uses a fixed ring-partition count (a power of two) chosen at cluster
+#: creation; 16 keeps per-vnode structures small in tests while still giving
+#: range-local handoff and anti-entropy something to exploit.
+DEFAULT_PARTITION_COUNT = 16
+
+
+class PartitionMap:
+    """Fixed division of the hash ring into contiguous key ranges (partitions).
+
+    Each partition is one arc of the 128-bit ring; a key belongs to the
+    partition its ring position falls in.  This is the range ↔ vnode mapping
+    of the Dynamo/Riak storage layout: every node materialises one vnode
+    store (plus one Merkle tree) per partition it holds keys for, so handoff
+    can move a whole range and anti-entropy can compare a single range.  The
+    partition count is a cluster-wide constant — every node must agree on it
+    for per-range digests to be comparable.
+    """
+
+    def __init__(self, partition_count: int = DEFAULT_PARTITION_COUNT) -> None:
+        if partition_count < 1:
+            raise ConfigurationError(
+                f"partition_count must be >= 1, got {partition_count}"
+            )
+        self.partition_count = partition_count
+
+    def partition_ids(self) -> range:
+        """Every partition id, in range order."""
+        return range(self.partition_count)
+
+    def partition_of_position(self, position: int) -> int:
+        """The partition owning a ring position (equal-width arcs)."""
+        return (position * self.partition_count) >> RING_BITS
+
+    def partition_of(self, key: str) -> int:
+        """The partition a key's ring position falls in.
+
+        Uses the same ``key:`` token as :meth:`ConsistentHashRing.key_position`
+        so a partition really is a contiguous arc of the placement ring.
+        """
+        return self.partition_of_position(_hash_position(f"key:{key}"))
+
+    def partition_range(self, partition_id: int) -> Tuple[int, int]:
+        """Half-open ``[start, end)`` ring-position range of one partition."""
+        if not 0 <= partition_id < self.partition_count:
+            raise ConfigurationError(f"unknown partition {partition_id!r}")
+        span = 1 << RING_BITS
+        start = -(-partition_id * span // self.partition_count)
+        end = -(-(partition_id + 1) * span // self.partition_count)
+        return start, min(end, span)
+
+    def __len__(self) -> int:
+        return self.partition_count
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PartitionMap(partition_count={self.partition_count})"
+
+
 class ConsistentHashRing:
     """A consistent-hashing ring over a set of physical nodes.
 
@@ -162,9 +223,15 @@ def rebalance_plan(before: ConsistentHashRing,
     """The key movements implied by a ring change (join / decommission).
 
     Compares each key's N-node preference list on the two rings and returns a
-    move for every key whose replica set changed.  The caller (the cluster's
-    handoff machinery) pushes each such key's state to the ``gained`` nodes;
-    ``lost`` nodes may drop or retain their copy depending on policy.
+    move for every key whose replica *set* changed.  The lists are priority
+    orders, so a ring change can permute them without changing membership —
+    e.g. a joining node's virtual positions reordering the clockwise walk for
+    a key whose replicas all stay put.  Such keys need no data movement
+    (``gained`` and ``lost`` would both be empty), and emitting moves for
+    them would make the handoff machinery ship states to nodes that already
+    hold them; they are skipped here.  The caller pushes each returned key's
+    state to the ``gained`` nodes; ``lost`` nodes may drop or retain their
+    copy depending on policy.
     """
     if replication < 1:
         raise ConfigurationError(f"replication must be >= 1, got {replication}")
@@ -172,6 +239,6 @@ def rebalance_plan(before: ConsistentHashRing,
     for key in sorted(set(keys)):
         owners_before = before.preference_list(key, replication)
         owners_after = after.preference_list(key, replication)
-        if owners_before != owners_after:
+        if set(owners_before) != set(owners_after):
             moves.append(RebalanceMove(key, owners_before, owners_after))
     return moves

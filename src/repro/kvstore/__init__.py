@@ -24,7 +24,7 @@ from .merkle import (
     key_fingerprint,
     state_fingerprint,
 )
-from .merkle_index import MerkleIndex
+from .merkle_index import MerkleIndex, VnodeIndexSet
 from .merge import (
     CallbackResolver,
     LastWriterWins,
@@ -44,7 +44,7 @@ from .simulated import (
     SimulatedCluster,
     default_value_size,
 )
-from .storage import NodeStorage
+from .storage import NodeStorage, VnodeManager, VnodeStore
 from .sync_store import SyncReplicatedStore
 from .write_log import WriteLog, WriteRecord
 
@@ -78,6 +78,9 @@ __all__ = [
     "StorageNode",
     "SyncReplicatedStore",
     "UnionMerge",
+    "VnodeIndexSet",
+    "VnodeManager",
+    "VnodeStore",
     "WriteLog",
     "WriteRecord",
     "bucket_path",

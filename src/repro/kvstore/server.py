@@ -33,16 +33,19 @@ MERGE_COUNTERS = {
 #: Merkle index, rebuilds trees per exchange, or does no anti-entropy at all.
 #: The :class:`~repro.kvstore.merkle_index.MerkleIndex` increments them.
 INDEX_COUNTERS = ("keys_hashed", "buckets_rehashed", "full_rebuilds",
-                  "snapshot_digests")
+                  "snapshot_digests", "fingerprints_imported")
 
 
 class StorageNode:
     """One replica server."""
 
-    def __init__(self, node_id: str, mechanism: CausalityMechanism) -> None:
+    def __init__(self,
+                 node_id: str,
+                 mechanism: CausalityMechanism,
+                 partition_map=None) -> None:
         self.node_id = node_id
         self.mechanism = mechanism
-        self.storage = NodeStorage(mechanism)
+        self.storage = NodeStorage(mechanism, partition_map=partition_map)
         #: Incremental Merkle index over this node's key space, when attached
         #: (see :meth:`attach_merkle_index`); None means exchanges rebuild
         #: trees from scratch.
@@ -121,34 +124,77 @@ class StorageNode:
         The index subscribes to the storage mutation stream and is seeded
         from the current contents, so it can be attached to a node that has
         already served writes.  Replaces (and detaches) any previous index.
+        Works for both a flat :class:`~repro.kvstore.merkle_index.MerkleIndex`
+        (whole-node subscription) and a
+        :class:`~repro.kvstore.merkle_index.VnodeIndexSet` (one subscription
+        per vnode range) — each knows how to wire itself via ``attach``.
         """
         if self.merkle_index is not None:
-            self.storage.unsubscribe(self.merkle_index.on_state_changed)
+            self.merkle_index.detach(self.storage)
         self.merkle_index = index
-        self.storage.subscribe(index.on_state_changed)
+        index.attach(self.storage)
         index.rebuild(self.storage)
         return index
 
-    def wipe(self) -> None:
-        """Replace the disk with an empty one (hints and key states lost).
+    def wipe(self, partition: Optional[int] = None) -> None:
+        """Lose disk contents — the whole disk, or one vnode's slice of it.
 
-        The Merkle index summarises the disk, so it is emptied with it — a
-        wiped node's tree must advertise "I hold nothing" or anti-entropy
-        would skip the repopulation it needs.
+        With ``partition`` given, only that vnode's key states (and the hints
+        for keys in its range) are dropped; the other vnodes survive intact.
+        The attached index hears the per-key drops through the mutation
+        stream, so only the wiped range's tree empties.
+
+        With no partition, the whole disk is replaced (hints and key states
+        lost).  The Merkle index summarises the disk, so it is emptied with
+        it — a wiped node's tree must advertise "I hold nothing" or
+        anti-entropy would skip the repopulation it needs.
         """
-        self.storage = NodeStorage(self.mechanism)
+        if partition is not None:
+            self.storage.wipe_vnode(partition)
+            return
+        old_storage = self.storage
+        self.storage = NodeStorage(self.mechanism,
+                                   partition_map=old_storage.partition_map)
         if self.merkle_index is not None:
+            self.merkle_index.detach(old_storage)
             self.merkle_index.reset()
-            self.storage.subscribe(self.merkle_index.on_state_changed)
+            self.merkle_index.attach(self.storage)
 
     def restart(self) -> None:
         """Process restart: disk contents survive, in-memory index does not.
 
-        Rebuilds the Merkle index from storage (counted in ``full_rebuilds``)
-        the way Riak reconstructs a missing hashtree at startup.
+        Rebuilds the Merkle index from storage (counted in ``full_rebuilds``
+        per non-empty vnode) the way Riak reconstructs a missing hashtree at
+        startup.
         """
         if self.merkle_index is not None:
             self.merkle_index.rebuild(self.storage)
+
+    def ingest_handoff(self, key: str, state: Any, fingerprint: Optional[bytes] = None) -> Any:
+        """Absorb one key of a vnode handoff, reusing the sender's digest.
+
+        When the sender ships the fingerprint its maintained index already
+        holds for the key, the receiver can adopt the state *and* the digest
+        without re-hashing anything: a key the receiver does not hold is
+        stored with the imported fingerprint, and a key whose local
+        fingerprint equals the incoming one is provably the identical sibling
+        set (the fingerprint covers the sorted sibling origin dots), so the
+        merge would be a no-op and is skipped.  Only a genuine fingerprint
+        mismatch — the receiver holds a *different* state for the key — falls
+        back to a real merge, which re-fingerprints just that key.
+        """
+        if fingerprint is None:
+            return self.local_merge(key, state, reason="handoff")
+        self.stats[MERGE_COUNTERS["handoff"]] += 1
+        if not self.storage.has_key(key):
+            self.storage.put_state(key, state, fingerprint=fingerprint)
+            return state
+        index = self.merkle_index
+        if index is not None and index.fingerprint(key) == fingerprint:
+            return self.storage.get_state(key)
+        merged = self.mechanism.merge(self.storage.get_state(key), state)
+        self.storage.put_state(key, merged)
+        return merged
 
     def siblings_of(self, key: str) -> List[Sibling]:
         """The live sibling versions stored for ``key``."""

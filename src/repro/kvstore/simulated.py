@@ -22,41 +22,54 @@ Topology and protocol
   protocol** (below); the original full-state exchange remains available via
   ``anti_entropy_strategy="full"``.
 
-Merkle-delta anti-entropy
--------------------------
-A sync round between a source and a target walks the two replicas' hash trees
-level by level instead of shipping every key's state:
+Merkle-delta anti-entropy (per vnode range)
+-------------------------------------------
+Every server divides its key space into the cluster-wide fixed partitions of
+a :class:`~repro.cluster.ring.PartitionMap` and maintains one hash tree per
+partition (vnode range).  A sync round between a source and a target then
+compares ranges, not the whole keyspace:
 
-1. the source snapshots its hash tree and sends the root digest
-   (``MERKLE_SYNC_REQUEST``, one digest);
-2. the target snapshots (and caches, per session) its own tree, compares the
-   received digests against the same tree positions, and answers with the
-   paths that differ (``MERKLE_SYNC_RESPONSE``);
-3. the source descends: it ships the child digests of every differing path,
-   repeating until the leaf-bucket level, where the target's response also
-   carries the per-key fingerprints of the differing buckets;
+1. the source sends the root digest of every non-empty local range in one
+   ``MERKLE_PARTITION_DIGESTS`` message;
+2. the target compares range by range (absent ranges hash to the well-known
+   empty root) and names the differing ranges in a
+   ``MERKLE_PARTITION_DIFF`` reply — on a synced pair the exchange ends
+   here, two messages total;
+3. each differing range's tree is walked level by level
+   (``MERKLE_SYNC_REQUEST`` / ``MERKLE_SYNC_RESPONSE``), the source shipping
+   child digests of differing paths until the leaf-bucket level, where the
+   target's response also carries the per-key fingerprints of the differing
+   buckets;
 4. the source computes the exact divergent key set from the fingerprints and
    ships only those keys' states, batched ``sync_batch_size`` keys per
    ``MERKLE_KEY_STATES`` message to amortise per-message latency; the target
    merges them and replies in kind with its own states for the same keys.
 
-On a mostly-synced store a round therefore costs a handful of digest
-messages; bytes on the wire are proportional to the *divergence*, not the
-store size.  All protocol messages pay the normal transport latency/size
-costs, and every merge is idempotent, so lost or duplicated messages merely
-delay convergence until a later round.
+Bytes on the wire are therefore proportional to the *divergence*, not the
+store size, and digest comparisons are confined to the ranges that actually
+differ.  All protocol messages pay the normal transport latency/size costs,
+and every merge is idempotent, so lost or duplicated messages merely delay
+convergence until a later round.  (In ``merkle_maintenance="rebuild"`` mode
+no per-range trees exist; the legacy single-tree protocol starts at the
+whole-keyspace root instead.)
 
 The trees themselves are **incrementally maintained**, Riak-style: each
-server carries a :class:`~repro.kvstore.merkle_index.MerkleIndex` subscribed
-to its storage's mutation stream, so every write path (client puts, replica
-merges, read repair, Merkle-delta transfers, hint replay, rebalancing
-handoff) re-fingerprints only the mutated key and dirties its leaf bucket;
+server carries a :class:`~repro.kvstore.merkle_index.VnodeIndexSet` — one
+:class:`~repro.kvstore.merkle_index.MerkleIndex` per vnode range, each
+subscribed to its range's slice of the storage mutation stream — so every
+write path (client puts, replica merges, read repair, Merkle-delta
+transfers, hint replay, rebalancing handoff) re-fingerprints only the
+mutated key and dirties its leaf bucket in the one affected range tree;
 exchange snapshots just flush the dirty buckets and copy digests out.  Tree
 work per exchange is therefore O(divergent buckets), not O(keys) — set
 ``merkle_maintenance="rebuild"`` to restore the old rebuild-per-exchange
-behaviour for cost comparisons.  Read-repair pushes are coalesced the same
-way sync transfers are: repairs for one stale replica ride a single batched
-``READ_REPAIR`` message per coalescing window.
+behaviour for cost comparisons.  Rebalancing handoff (``KEY_HANDOFF``) ships
+each key's maintained fingerprint alongside its state, so moving a vnode's
+keys re-hashes ~nothing on either side: the receiver adopts the digests
+(counted in ``fingerprints_imported``) instead of re-fingerprinting.
+Read-repair pushes are coalesced the same way sync transfers are: repairs
+for one stale replica ride a single batched ``READ_REPAIR`` message per
+coalescing window.
 
 Dynamic membership and hinted handoff
 -------------------------------------
@@ -113,7 +126,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from ..clocks.interface import CausalityMechanism, Sibling
 from ..cluster.membership import Membership
 from ..cluster.preference_list import PlacementService, QuorumConfig
-from ..cluster.ring import ConsistentHashRing, rebalance_plan
+from ..cluster.ring import (
+    DEFAULT_PARTITION_COUNT,
+    ConsistentHashRing,
+    PartitionMap,
+    rebalance_plan,
+)
 from ..core.exceptions import ConfigurationError
 from ..network.latency import LatencyModel, SizeDependentLatency
 from ..network.message import Message, MessageType
@@ -124,7 +142,7 @@ from .anti_entropy import AntiEntropyDaemon, HintedHandoffDaemon
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
 from .merkle import MERKLE_MAINTENANCE_MODES, MerkleTree, key_fingerprint
-from .merkle_index import MerkleIndex
+from .merkle_index import VnodeIndexSet
 from .read_repair import ReadRepairStats, plan_read_repair
 from .server import StorageNode
 from .write_log import WriteLog
@@ -158,6 +176,8 @@ ADAPTIVE_DEADLINE_MULTIPLIER = 3.0
 SYNC_MESSAGE_TYPES = (
     MessageType.SYNC_REQUEST.value,
     MessageType.SYNC_REPLY.value,
+    MessageType.MERKLE_PARTITION_DIGESTS.value,
+    MessageType.MERKLE_PARTITION_DIFF.value,
     MessageType.MERKLE_SYNC_REQUEST.value,
     MessageType.MERKLE_SYNC_RESPONSE.value,
     MessageType.MERKLE_KEY_STATES.value,
@@ -233,14 +253,23 @@ class MerkleSyncStats:
     exchanges_clean: int = 0        # root digests matched, nothing to do
     levels_sent: int = 0
     keys_transferred: int = 0
+    partitions_compared: int = 0    # per-range root comparisons performed
+    partitions_differing: int = 0   # ranges whose roots differed (descended)
 
 
 @dataclass
 class _MerkleSession:
-    """Source-side state of one in-flight Merkle exchange."""
+    """Source-side state of one in-flight Merkle exchange.
+
+    Per-vnode exchanges descend each differing range independently; the
+    session tracks one frozen tree per open partition (``None`` is the
+    whole-keyspace tree of the legacy single-tree protocol) and completes
+    when every opened partition has finished its descent.
+    """
 
     peer_id: str
-    tree: MerkleTree
+    trees: Dict[Optional[int], MerkleTree] = field(default_factory=dict)
+    open_partitions: set = field(default_factory=set)
 
 
 class MessageServer:
@@ -250,16 +279,19 @@ class MessageServer:
                  node_id: str,
                  mechanism: CausalityMechanism,
                  cluster: "SimulatedCluster") -> None:
-        self.node = StorageNode(node_id, mechanism)
+        self.node = StorageNode(node_id, mechanism,
+                                partition_map=cluster.partition_map)
         self.node_id = node_id
         self.mechanism = mechanism
         self.cluster = cluster
         if cluster.merkle_maintenance == "incremental":
-            # The write-maintained hash tree: every storage mutation (client
-            # writes, merges, read repair, hint replay, handoff) updates it
-            # in place, so exchanges snapshot digests instead of rebuilding.
-            self.node.attach_merkle_index(MerkleIndex(
+            # The write-maintained hash trees, one per vnode range: every
+            # storage mutation (client writes, merges, read repair, hint
+            # replay, handoff) updates the mutated key's range tree in place,
+            # so exchanges snapshot per-range digests instead of rebuilding.
+            self.node.attach_merkle_index(VnodeIndexSet(
                 mechanism,
+                partition_map=cluster.partition_map,
                 fanout=cluster.merkle_fanout,
                 depth=cluster.merkle_depth,
                 counters=self.node.stats,
@@ -276,11 +308,13 @@ class MessageServer:
         # Adaptive deadlines: EWMA of each replica's observed ack latency.
         self._ack_latency_ewma: Dict[str, float] = {}
         # Merkle exchange state: sessions this node started (it owns the tree
-        # snapshot and the descent), and per-peer cached trees for exchanges
-        # started by others (so digests stay consistent across levels).
+        # snapshots and the per-range descents), and cached trees, keyed by
+        # (peer, partition), for exchanges started by others (so digests stay
+        # consistent across levels of one range's descent).
         self._merkle_sessions: Dict[int, _MerkleSession] = {}
         self._merkle_session_ids = itertools.count(1)
-        self._merkle_peer_trees: Dict[str, Tuple[int, MerkleTree]] = {}
+        self._merkle_peer_trees: Dict[Tuple[str, Optional[int]],
+                                      Tuple[int, MerkleTree]] = {}
 
     # ------------------------------------------------------------------ #
     # Message dispatch
@@ -297,6 +331,8 @@ class MessageServer:
             MessageType.READ_REPAIR: self._on_read_repair,
             MessageType.SYNC_REQUEST: self._on_sync_request,
             MessageType.SYNC_REPLY: self._on_sync_reply,
+            MessageType.MERKLE_PARTITION_DIGESTS: self._on_merkle_partition_digests,
+            MessageType.MERKLE_PARTITION_DIFF: self._on_merkle_partition_diff,
             MessageType.MERKLE_SYNC_REQUEST: self._on_merkle_sync_request,
             MessageType.MERKLE_SYNC_RESPONSE: self._on_merkle_sync_response,
             MessageType.MERKLE_KEY_STATES: self._on_merkle_key_states,
@@ -866,19 +902,22 @@ class MessageServer:
     # ------------------------------------------------------------------ #
     # Merkle-delta anti-entropy (hashtree exchange)
     # ------------------------------------------------------------------ #
-    def _merkle_tree(self) -> MerkleTree:
-        """This node's hash tree for one exchange session.
+    def _merkle_tree(self, partition: Optional[int] = None) -> MerkleTree:
+        """This node's hash tree for one exchange session (or one range of it).
 
         With incremental maintenance (the default) this snapshots the
-        write-maintained :class:`~repro.kvstore.merkle_index.MerkleIndex` —
-        digests were kept current by the mutation listener, so the only work
-        left is flushing dirty buckets and copying digests out.  In
+        write-maintained per-vnode index set — digests were kept current by
+        the mutation listeners, so the only work left is flushing dirty
+        buckets and copying digests out; ``partition`` selects a single
+        range's tree, None the combined whole-node tree.  In
         ``merkle_maintenance="rebuild"`` mode (the pre-index behaviour, kept
         for the maintenance-cost ablation) the whole key space is re-hashed
         and the cost is counted in the node's ``full_rebuilds`` /
         ``keys_hashed`` stats.
         """
         if self.node.merkle_index is not None:
+            if partition is not None:
+                return self.node.merkle_index.snapshot_partition(partition)
             return self.node.merkle_index.snapshot()
         self.node.stats["full_rebuilds"] += 1
         self.node.stats["keys_hashed"] += len(self.node.storage)
@@ -887,8 +926,17 @@ class MessageServer:
                                    depth=self.cluster.merkle_depth)
 
     def start_merkle_sync_with(self, peer_id: str) -> None:
-        """Begin a Merkle-delta exchange with ``peer_id`` (level-by-level)."""
-        tree = self._merkle_tree()
+        """Begin a Merkle-delta exchange with ``peer_id``.
+
+        With per-vnode indexes the exchange opens with one message carrying
+        the root digest of every non-empty local range
+        (``MERKLE_PARTITION_DIGESTS``); the peer compares range by range and
+        names the differing ones, and only those ranges' trees are descended
+        — a mostly-synced pair pays two messages total no matter how many
+        ranges they hold.  Without a maintained index (rebuild mode) the
+        legacy single-tree protocol runs: the whole keyspace is one tree and
+        the exchange starts at its root.
+        """
         # A lost message leaves a session dangling; starting a new exchange
         # with the same peer supersedes any older one.
         self._merkle_sessions = {
@@ -897,15 +945,108 @@ class MessageServer:
             if session.peer_id != peer_id
         }
         session_id = next(self._merkle_session_ids)
-        self._merkle_sessions[session_id] = _MerkleSession(peer_id, tree)
+        session = _MerkleSession(peer_id)
+        self._merkle_sessions[session_id] = session
         self.cluster.merkle_stats.exchanges_started += 1
+
+        index = self.node.merkle_index
+        if index is not None and hasattr(index, "partition_ids"):
+            # Per-range opening: snapshot and advertise non-empty ranges only
+            # (absent ranges hash to the well-known empty root on both sides).
+            roots: Dict[int, bytes] = {}
+            for partition_id in index.partition_ids():
+                if index.index_for(partition_id).key_count == 0:
+                    continue
+                tree = index.snapshot_partition(partition_id)
+                session.trees[partition_id] = tree
+                roots[partition_id] = tree.root_digest
+            size = (len(roots) * (DIGEST_BYTES + 1)
+                    + self.cluster.request_overhead_bytes)
+            self.cluster.transport.send(Message(
+                sender=self.node_id,
+                receiver=peer_id,
+                msg_type=MessageType.MERKLE_PARTITION_DIGESTS,
+                payload={"session": session_id, "roots": roots},
+                size_bytes=size,
+            ))
+            return
+
+        tree = self._merkle_tree()
+        session.trees[None] = tree
+        session.open_partitions.add(None)
         self._send_merkle_level(session_id, peer_id, 0, [((), tree.root_digest)])
+
+    def _on_merkle_partition_digests(self, message: Message) -> None:
+        """Target side: compare per-range roots, name the differing ranges."""
+        session_id = message.payload["session"]
+        roots = message.payload["roots"]
+        index = self.node.merkle_index
+        stats = self.cluster.merkle_stats
+
+        # A new exchange from this peer supersedes any cached range trees
+        # left over from an older, possibly abandoned one.
+        for cache_key in [cache_key for cache_key in self._merkle_peer_trees
+                          if cache_key[0] == message.sender]:
+            del self._merkle_peer_trees[cache_key]
+
+        local_live = {partition_id for partition_id in index.partition_ids()
+                      if index.index_for(partition_id).key_count > 0}
+        compared = sorted(local_live | set(roots))
+        differing: List[int] = []
+        empty_root = index.empty_root_digest
+        for partition_id in compared:
+            remote_root = roots.get(partition_id, empty_root)
+            if index.partition_root(partition_id) != remote_root:
+                differing.append(partition_id)
+                # Freeze this range's tree now so every level of the coming
+                # descent compares against the same digests.
+                self._merkle_peer_trees[(message.sender, partition_id)] = (
+                    session_id, index.snapshot_partition(partition_id))
+        stats.partitions_compared += len(compared)
+        stats.partitions_differing += len(differing)
+
+        self.cluster.transport.send(Message(
+            sender=self.node_id,
+            receiver=message.sender,
+            msg_type=MessageType.MERKLE_PARTITION_DIFF,
+            payload={"session": session_id, "differing": differing},
+            size_bytes=len(differing) + self.cluster.request_overhead_bytes,
+        ))
+
+    def _on_merkle_partition_diff(self, message: Message) -> None:
+        """Source side: descend each differing range; finish if none differ."""
+        session_id = message.payload["session"]
+        session = self._merkle_sessions.get(session_id)
+        if session is None or session.peer_id != message.sender:
+            return  # stale session (lost messages, duplicate delivery)
+        differing = message.payload["differing"]
+        if not differing:
+            self._merkle_sessions.pop(session_id, None)
+            self.cluster.merkle_stats.exchanges_clean += 1
+            return
+        for partition_id in differing:
+            tree = session.trees.get(partition_id)
+            if tree is None:
+                # The peer holds keys in a range we have nothing for — descend
+                # with the empty tree so its leaf fingerprints localise them.
+                tree = MerkleTree({}, fanout=self.cluster.merkle_fanout,
+                                  depth=self.cluster.merkle_depth)
+                session.trees[partition_id] = tree
+            session.open_partitions.add(partition_id)
+        # The roots already differ (that is what the peer told us), so the
+        # descent of each range starts at its children.
+        for partition_id in differing:
+            tree = session.trees[partition_id]
+            self._send_merkle_level(session_id, session.peer_id, 1,
+                                    tree.child_digests(()),
+                                    partition=partition_id)
 
     def _send_merkle_level(self,
                            session_id: int,
                            peer_id: str,
                            level: int,
-                           entries: List[Tuple[Tuple[int, ...], bytes]]) -> None:
+                           entries: List[Tuple[Tuple[int, ...], bytes]],
+                           partition: Optional[int] = None) -> None:
         self.cluster.merkle_stats.levels_sent += 1
         size = (len(entries) * (DIGEST_BYTES + max(level, 1))
                 + self.cluster.request_overhead_bytes)
@@ -913,7 +1054,8 @@ class MessageServer:
             sender=self.node_id,
             receiver=peer_id,
             msg_type=MessageType.MERKLE_SYNC_REQUEST,
-            payload={"session": session_id, "level": level, "entries": entries},
+            payload={"session": session_id, "level": level, "entries": entries,
+                     "partition": partition},
             size_bytes=size,
         ))
 
@@ -922,13 +1064,16 @@ class MessageServer:
         session_id = message.payload["session"]
         level = message.payload["level"]
         entries = message.payload["entries"]
+        partition = message.payload.get("partition")
 
-        cached = self._merkle_peer_trees.get(message.sender)
+        cache_key = (message.sender, partition)
+        cached = self._merkle_peer_trees.get(cache_key)
         if cached is None or cached[0] != session_id:
-            # First message of this session (or the level-0 message was lost
-            # and a deeper one arrived) — snapshot a fresh tree for it.
-            tree = self._merkle_tree()
-            self._merkle_peer_trees[message.sender] = (session_id, tree)
+            # First message of this session for this range (or an earlier
+            # message was lost and a deeper one arrived) — snapshot a fresh
+            # tree for it.
+            tree = self._merkle_tree(partition)
+            self._merkle_peer_trees[cache_key] = (session_id, tree)
         else:
             tree = cached[1]
 
@@ -942,18 +1087,28 @@ class MessageServer:
             size += sum(len(key.encode("utf-8")) + DIGEST_BYTES
                         for bucket in buckets.values() for key in bucket)
         if at_leaves or not differing:
-            # The exchange either finishes here or moves on to key states,
-            # neither of which needs the cached tree snapshot any more.
-            self._merkle_peer_trees.pop(message.sender, None)
+            # This range's descent either finishes here or moves on to key
+            # states, neither of which needs the cached tree snapshot any more.
+            self._merkle_peer_trees.pop(cache_key, None)
 
         self.cluster.transport.send(Message(
             sender=self.node_id,
             receiver=message.sender,
             msg_type=MessageType.MERKLE_SYNC_RESPONSE,
             payload={"session": session_id, "level": level,
-                     "differing": differing, "buckets": buckets},
+                     "differing": differing, "buckets": buckets,
+                     "partition": partition},
             size_bytes=size,
         ))
+
+    def _finish_merkle_partition(self,
+                                 session_id: int,
+                                 session: _MerkleSession,
+                                 partition: Optional[int]) -> None:
+        """One range's descent is done; the session ends with its last range."""
+        session.open_partitions.discard(partition)
+        if not session.open_partitions:
+            self._merkle_sessions.pop(session_id, None)
 
     def _on_merkle_sync_response(self, message: Message) -> None:
         """Source side: descend into differing paths or ship divergent keys."""
@@ -963,11 +1118,17 @@ class MessageServer:
             return  # stale session (lost messages, duplicate delivery)
         differing = message.payload["differing"]
         level = message.payload["level"]
+        partition = message.payload.get("partition")
+        tree = session.trees.get(partition)
+        if tree is None:
+            return  # stale range (superseded session id reuse)
 
         if not differing:
-            self._merkle_sessions.pop(session_id, None)
-            if level == 0:
+            if partition is None and level == 0:
+                # Legacy single-tree protocol: matching roots end the whole
+                # exchange cleanly.
                 self.cluster.merkle_stats.exchanges_clean += 1
+            self._finish_merkle_partition(session_id, session, partition)
             return
 
         buckets = message.payload.get("buckets")
@@ -975,19 +1136,21 @@ class MessageServer:
             # Descend one level: ship child digests of every differing path.
             entries: List[Tuple[Tuple[int, ...], bytes]] = []
             for path in differing:
-                entries.extend(session.tree.child_digests(path))
-            self._send_merkle_level(session_id, session.peer_id, level + 1, entries)
+                entries.extend(tree.child_digests(path))
+            self._send_merkle_level(session_id, session.peer_id, level + 1,
+                                    entries, partition=partition)
             return
 
         # Leaf level: fingerprints localise the exact divergent keys.
         divergent: List[str] = []
         for path, peer_fingerprints in buckets.items():
-            own_fingerprints = session.tree.bucket_fingerprints(tuple(path))
+            own_fingerprints = tree.bucket_fingerprints(tuple(path))
             for key in sorted(set(own_fingerprints) | set(peer_fingerprints)):
                 if own_fingerprints.get(key) != peer_fingerprints.get(key):
                     divergent.append(key)
-        self._merkle_sessions.pop(session_id, None)
-        self._send_merkle_key_states(session.peer_id, sorted(set(divergent)))
+        peer_id = session.peer_id
+        self._finish_merkle_partition(session_id, session, partition)
+        self._send_merkle_key_states(peer_id, sorted(set(divergent)))
 
     def _send_merkle_key_states(self, peer_id: str, keys: Sequence[str],
                                 want_reply: bool = True) -> None:
@@ -1068,24 +1231,40 @@ class MessageServer:
     # Rebalancing handoff (join / decommission)
     # ------------------------------------------------------------------ #
     def send_key_handoff(self, target_id: str, keys: Sequence[str]) -> None:
-        """Push the states of ``keys`` to a node that became a replica home."""
+        """Push the states of ``keys`` to a node that became a replica home.
+
+        When this node maintains an incremental index, each shipped key rides
+        with the fingerprint its range tree already holds, so the receiver
+        can adopt the digest instead of re-hashing the state
+        (:meth:`StorageNode.ingest_handoff`): moving a vnode's worth of keys
+        costs O(1) fresh fingerprints on both sides, not O(keys moved).
+        """
         held = [key for key in keys if self.node.storage.has_key(key)]
+        index = self.node.merkle_index
         for chunk in _chunked(held, self.cluster.sync_batch_size):
             states = {key: self.node.state_of(key) for key in chunk}
+            fingerprints: Dict[str, bytes] = {}
+            if index is not None:
+                for key in chunk:
+                    fingerprint = index.fingerprint(key)
+                    if fingerprint is not None:
+                        fingerprints[key] = fingerprint
             size = (sum(self._payload_state_size(key, state)
                         for key, state in states.items())
+                    + len(fingerprints) * DIGEST_BYTES
                     + self.cluster.request_overhead_bytes)
             self.cluster.transport.send(Message(
                 sender=self.node_id,
                 receiver=target_id,
                 msg_type=MessageType.KEY_HANDOFF,
-                payload={"states": states},
+                payload={"states": states, "fingerprints": fingerprints},
                 size_bytes=size,
             ))
 
     def _on_key_handoff(self, message: Message) -> None:
+        fingerprints = message.payload.get("fingerprints") or {}
         for key, state in message.payload["states"].items():
-            self.node.local_merge(key, state, reason="handoff")
+            self.node.ingest_handoff(key, state, fingerprints.get(key))
 
     def _on_ping(self, message: Message) -> None:
         self.cluster.transport.send(message.reply(MessageType.PONG))
@@ -1093,19 +1272,25 @@ class MessageServer:
     # ------------------------------------------------------------------ #
     # Crash recovery
     # ------------------------------------------------------------------ #
-    def on_recover(self, wipe: bool) -> None:
+    def on_recover(self, wipe: bool,
+                   wipe_partitions: Optional[Sequence[int]] = None) -> None:
         """Recover from a crash: disk handling plus process-memory cleanup.
 
         The disk either survived (restart: the Merkle index is rebuilt from
-        it) or did not (wipe: storage and index are emptied).  Process memory
-        died either way: queued read-repair pushes, in-flight Merkle exchange
-        snapshots and the replica-latency EWMAs are discarded here — any new
-        process state added to MessageServer that should not survive a crash
-        belongs in this method.
+        it, per non-empty vnode), did not (``wipe``: storage and index are
+        emptied), or lost only some vnodes' slices (``wipe_partitions``: those
+        ranges' states, hints and trees are dropped, the rest survive and
+        keep their maintained digests).  Process memory died either way:
+        queued read-repair pushes, in-flight Merkle exchange snapshots and
+        the replica-latency EWMAs are discarded here — any new process state
+        added to MessageServer that should not survive a crash belongs in
+        this method.
         """
         if wipe:
             self.node.wipe()
         else:
+            for partition_id in wipe_partitions or ():
+                self.node.wipe(partition=partition_id)
             self.node.restart()
         self._repair_queue.clear()
         self._merkle_sessions.clear()
@@ -1484,6 +1669,7 @@ class SimulatedCluster:
                  deadline_floor_ms: float = 2.0,
                  deadline_ceiling_ms: Optional[float] = None,
                  virtual_nodes: int = 32,
+                 partition_count: int = DEFAULT_PARTITION_COUNT,
                  request_overhead_bytes: int = 64) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
@@ -1539,7 +1725,13 @@ class SimulatedCluster:
         )
         self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
         self.membership = Membership(server_ids)
-        self.placement = PlacementService(self.ring, self.membership, self.quorum)
+        # The cluster-wide range ↔ vnode mapping: every server divides its
+        # key space into the same fixed partitions, so per-range digests are
+        # comparable between peers and handoff can move whole ranges.
+        self.partition_map = PartitionMap(partition_count)
+        self.placement = PlacementService(self.ring, self.membership,
+                                          self.quorum,
+                                          partition_map=self.partition_map)
         self.write_log = WriteLog()
         self.request_overhead_bytes = request_overhead_bytes
         self.request_mode = request_mode
@@ -1645,7 +1837,8 @@ class SimulatedCluster:
         self.membership.mark_down(server_id)
         self.transport.unregister(server_id)
 
-    def recover_node(self, server_id: str, wipe: bool = False) -> None:
+    def recover_node(self, server_id: str, wipe: bool = False,
+                     wipe_partitions: Optional[Sequence[int]] = None) -> None:
         """Bring a crashed server back.
 
         With ``wipe=False`` the pre-crash state is retained (process restart)
@@ -1653,14 +1846,18 @@ class SimulatedCluster:
         persisted in the storage layer and resume replaying; with
         ``wipe=True`` the node rejoins with empty storage (disk loss), losing
         both its key states and its held hints, and must be repopulated by
-        other nodes' hint replays and anti-entropy.
+        other nodes' hint replays and anti-entropy.  ``wipe_partitions``
+        models a partial disk loss: only the named vnodes' key states (and
+        the hints for keys in those ranges) are dropped, the other vnodes
+        survive the crash intact.
 
         The incremental Merkle index follows the disk's fate either way: a
-        restart rebuilds it from the surviving storage (the in-memory tree
-        died with the process), a wipe empties it alongside the key states.
+        restart rebuilds it from the surviving storage (the in-memory trees
+        died with the process; only vnodes that still hold keys pay a
+        rebuild), a wipe empties it alongside the key states.
         """
         server = self.servers[server_id]
-        server.on_recover(wipe)
+        server.on_recover(wipe, wipe_partitions=wipe_partitions)
         if not self.transport.is_registered(server_id):
             self.transport.register(server_id, server.handle_message)
         self.membership.mark_up(server_id)

@@ -37,7 +37,12 @@ class MessageType(enum.Enum):
     SYNC_REQUEST = "sync_request"
     SYNC_REPLY = "sync_reply"
 
-    # Merkle-delta anti-entropy (level-by-level hashtree exchange)
+    # Merkle-delta anti-entropy (level-by-level hashtree exchange).  With
+    # per-vnode indexes the exchange opens with a partition-root comparison
+    # (PARTITION_DIGESTS / PARTITION_DIFF) and then descends each differing
+    # range independently; without them the whole keyspace is one tree.
+    MERKLE_PARTITION_DIGESTS = "merkle_partition_digests"
+    MERKLE_PARTITION_DIFF = "merkle_partition_diff"
     MERKLE_SYNC_REQUEST = "merkle_sync_request"
     MERKLE_SYNC_RESPONSE = "merkle_sync_response"
     MERKLE_KEY_STATES = "merkle_key_states"
