@@ -8,7 +8,10 @@ be regenerated without writing Python::
     python -m repro scenario concurrent_writers --mechanism server_vv
     python -m repro compare --clients 32 --operations 300 --seed 7
     python -m repro cluster --mechanism dvv --clients 16 --duration-ms 500
+    python -m repro cluster --backend asyncio --clients 8 --duration-ms 500
     python -m repro churn --scenario elasticity --mechanism dvvset
+    python -m repro serve --mechanism dvv --servers 3
+    python -m repro connect --socket-dir /tmp/repro-cluster-x get cart
 
 Every subcommand prints the same plain-text tables the benchmarks persist
 under ``benchmarks/results/``.
@@ -182,7 +185,14 @@ def cmd_churn(args: argparse.Namespace) -> int:
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
-    """Run the simulated message-passing cluster under a closed-loop workload."""
+    """Run the message-passing cluster under a closed-loop workload.
+
+    ``--backend sim`` (default) drives the deterministic simulator in virtual
+    time; ``--backend asyncio`` runs the same protocol machines over real
+    Unix-domain sockets and reports wall-clock numbers.
+    """
+    if args.backend == "asyncio":
+        return _cmd_cluster_asyncio(args)
     cluster = SimulatedCluster(
         create(args.mechanism),
         server_ids=tuple(f"n{i}" for i in range(args.servers)),
@@ -240,6 +250,207 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         title="Simulated cluster run",
     ))
     return 0
+
+
+def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
+    """The asyncio-backend half of ``cmd_cluster`` (wall-clock run)."""
+    import asyncio
+    import random
+
+    from .kvstore import AsyncioCluster
+
+    async def run() -> int:
+        cluster = AsyncioCluster(
+            create(args.mechanism),
+            server_ids=tuple(f"n{i}" for i in range(args.servers)),
+            quorum=QuorumConfig(n=min(3, args.servers),
+                                r=min(2, args.servers),
+                                w=min(2, args.servers),
+                                sloppy=args.quorum_mode == "sloppy"),
+            deadline_mode=args.deadline_mode,
+            merkle_maintenance=args.merkle_maintenance,
+            partition_count=args.partitions,
+        )
+        keys = [f"key-{i}" for i in range(args.keys)]
+        duration_s = args.duration_ms / 1000.0
+        think_s = args.think_time_ms / 1000.0
+        async with cluster:
+            clients = [await cluster.client(f"c{i}") for i in range(args.clients)]
+            loop = asyncio.get_running_loop()
+            stop_at = loop.time() + duration_s
+
+            async def drive(client, index: int) -> None:
+                rng = random.Random(args.seed * 1000 + index)
+                while loop.time() < stop_at:
+                    key = keys[rng.randrange(len(keys))]
+                    if rng.random() < args.write_fraction:
+                        await client.put(key, f"{client.client_id}-{rng.random():.6f}")
+                    else:
+                        await client.get(key)
+                    if think_s:
+                        await asyncio.sleep(think_s)
+
+            started = loop.time()
+            await asyncio.gather(*(drive(c, i) for i, c in enumerate(clients)))
+            elapsed_s = loop.time() - started
+            await cluster.converge(timeout_s=30.0)
+            records = cluster.all_request_records()
+            latency = analyze_requests(args.mechanism, records,
+                                       duration_ms=elapsed_s * 1000.0)
+            stats = cluster.stat_totals()
+            wire_bytes = sum(server.endpoint.stats.bytes_sent
+                             for server in cluster.servers.values())
+            print(render_table(
+                ["metric", "value"],
+                [
+                    ["mechanism", args.mechanism],
+                    ["backend", "asyncio (unix sockets, wall clock)"],
+                    ["servers", args.servers],
+                    ["clients", args.clients],
+                    ["requests completed", latency.requests],
+                    ["requests failed", sum(1 for r in records if not r.ok)],
+                    ["mean latency (ms)", round(latency.overall.mean, 3)],
+                    ["p95 latency (ms)", round(latency.overall.p95, 3)],
+                    ["p99 latency (ms)", round(latency.overall.p99, 3)],
+                    ["throughput (req/s)", round(latency.throughput_per_s, 1)],
+                    ["bytes on the wire", wire_bytes],
+                    ["merkle keys hashed", stats.get("keys_hashed", 0)],
+                    ["converged", "yes"],
+                ],
+                title="Asyncio cluster run",
+            ))
+        return 0
+
+    return asyncio.run(run())
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run an asyncio cluster on Unix-domain sockets until interrupted.
+
+    Writes a ``cluster.json`` manifest into the socket directory describing
+    the topology, so ``connect`` (possibly from another process) can rebuild
+    the placement view and talk to the servers.
+    """
+    import asyncio
+    import json
+    import os
+
+    async def run() -> int:
+        from .kvstore import AsyncioCluster
+
+        if args.socket_dir is not None:
+            os.makedirs(args.socket_dir, exist_ok=True)
+        cluster = AsyncioCluster(
+            create(args.mechanism),
+            server_ids=tuple(f"n{i}" for i in range(args.servers)),
+            socket_dir=args.socket_dir,
+        )
+        await cluster.start()
+        manifest = {
+            "mechanism": args.mechanism,
+            "server_ids": cluster.server_ids,
+            "quorum": {"n": cluster.quorum.n, "r": cluster.quorum.r,
+                       "w": cluster.quorum.w, "sloppy": cluster.quorum.sloppy},
+            "virtual_nodes": cluster.ring.virtual_nodes,
+            "partition_count": cluster.partition_map.partition_count,
+            "request_timeout_ms": cluster.env.request_timeout_ms,
+            "client_timeout_ms": cluster.env.client_timeout_ms,
+            "request_overhead_bytes": cluster.env.request_overhead_bytes,
+            "socket_dir": cluster.socket_dir,
+        }
+        manifest_path = os.path.join(cluster.socket_dir, "cluster.json")
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        print(f"serving {args.servers} nodes ({args.mechanism}) "
+              f"on unix sockets under {cluster.socket_dir}")
+        print(f"manifest: {manifest_path}")
+        print("connect with: python -m repro connect "
+              f"--socket-dir {cluster.socket_dir} get <key>")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await cluster.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
+def cmd_connect(args: argparse.Namespace) -> int:
+    """One client request against a served cluster (see ``serve``)."""
+    import asyncio
+    import json
+    import os
+
+    from .cluster import ConsistentHashRing, Membership, PartitionMap, PlacementService
+    from .kvstore import WriteLog
+    from .kvstore.asyncio_cluster import AsyncClusterClient, UnixDirAddressBook
+    from .kvstore.protocol import MerkleSyncStats
+    from .kvstore.protocol.env import StaticProtocolEnv
+
+    manifest_path = os.path.join(args.socket_dir, "cluster.json")
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        print(f"no cluster manifest at {manifest_path} — is `serve` running?",
+              file=sys.stderr)
+        return 1
+
+    mechanism = create(manifest["mechanism"])
+    ring = ConsistentHashRing(manifest["server_ids"],
+                              virtual_nodes=manifest["virtual_nodes"])
+    quorum = QuorumConfig(**manifest["quorum"])
+    placement = PlacementService(ring, Membership(manifest["server_ids"]),
+                                 quorum,
+                                 partition_map=PartitionMap(manifest["partition_count"]))
+    env = StaticProtocolEnv(
+        mechanism=mechanism,
+        quorum=quorum,
+        placement=placement,
+        write_log=WriteLog(),
+        merkle_stats=MerkleSyncStats(),
+        request_mode="async",
+        request_timeout_ms=manifest["request_timeout_ms"],
+        client_timeout_ms=manifest["client_timeout_ms"],
+        request_overhead_bytes=manifest["request_overhead_bytes"],
+    )
+
+    async def run() -> int:
+        client = AsyncClusterClient(args.client_id, env,
+                                    UnixDirAddressBook(manifest["socket_dir"]))
+        await client.start()
+        try:
+            if args.operation == "put":
+                if args.value is None:
+                    print("put needs a VALUE argument", file=sys.stderr)
+                    return 2
+                result = await client.put(args.key, args.value)
+                if result is None:
+                    print("put failed (no coordinator answered)", file=sys.stderr)
+                    return 1
+                print(f"ok: {args.key!r} written via {result.coordinator}")
+            else:
+                result = await client.get(args.key)
+                if result is None:
+                    print("get failed (no coordinator answered)", file=sys.stderr)
+                    return 1
+                values = result.values if result.values else "(not found)"
+                print(f"{args.key!r} -> {values} "
+                      f"({len(result.siblings)} sibling(s))")
+            record = client.records[-1]
+            print(f"latency: {record.latency_ms:.2f} ms "
+                  f"(coordinator {record.coordinator or 'n/a'})")
+            return 0
+        finally:
+            await client.close()
+
+    return asyncio.run(run())
 
 
 # --------------------------------------------------------------------------- #
@@ -303,8 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
     churn.set_defaults(handler=cmd_churn)
 
     cluster = subparsers.add_parser("cluster",
-                                    help="run the simulated message-passing cluster")
+                                    help="run the message-passing cluster under a "
+                                         "closed-loop workload")
     cluster.add_argument("--mechanism", default="dvv", choices=available())
+    cluster.add_argument("--backend", default="sim", choices=["sim", "asyncio"],
+                         help="sim: deterministic simulator in virtual time; "
+                              "asyncio: the same protocol over real Unix-domain "
+                              "sockets, reporting wall-clock numbers")
     cluster.add_argument("--anti-entropy", default="merkle", choices=["merkle", "full"],
                          dest="anti_entropy")
     cluster.add_argument("--request-mode", default="membership",
@@ -334,6 +550,27 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--bytes-per-ms", type=float, default=600.0, dest="bytes_per_ms")
     cluster.add_argument("--seed", type=int, default=2012)
     cluster.set_defaults(handler=cmd_cluster)
+
+    serve = subparsers.add_parser("serve",
+                                  help="run an asyncio cluster on Unix-domain "
+                                       "sockets until interrupted")
+    serve.add_argument("--mechanism", default="dvv", choices=available())
+    serve.add_argument("--servers", type=int, default=3)
+    serve.add_argument("--socket-dir", default=None, dest="socket_dir",
+                       help="directory for the Unix sockets and the cluster.json "
+                            "manifest (default: a fresh temp dir)")
+    serve.set_defaults(handler=cmd_serve)
+
+    connect = subparsers.add_parser("connect",
+                                    help="issue one request against a served "
+                                         "cluster (see `serve`)")
+    connect.add_argument("--socket-dir", required=True, dest="socket_dir",
+                         help="the socket directory `serve` printed")
+    connect.add_argument("--client-id", default="cli", dest="client_id")
+    connect.add_argument("operation", choices=["get", "put"])
+    connect.add_argument("key")
+    connect.add_argument("value", nargs="?", default=None)
+    connect.set_defaults(handler=cmd_connect)
 
     return parser
 

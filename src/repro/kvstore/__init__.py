@@ -9,9 +9,15 @@ Two store frontends share the same replica-local machinery
 * :class:`~repro.kvstore.simulated.SimulatedCluster` — message-passing over
   the discrete-event network simulator with quorums, read repair and
   anti-entropy; used by the latency experiment and the integration tests.
+
+The message protocol itself lives in :mod:`repro.kvstore.protocol` as
+transport-agnostic state machines; besides the simulator,
+:class:`~repro.kvstore.asyncio_cluster.AsyncioCluster` hosts them over real
+TCP/Unix-domain sockets for wall-clock benchmarking.
 """
 
 from .anti_entropy import AntiEntropyDaemon, AntiEntropyScheduler, HintedHandoffDaemon
+from .asyncio_cluster import AsyncClusterClient, AsyncioCluster, AsyncServerNode
 from .client import ClientSession, GetResult, PutResult
 from .context import CausalContext
 from .merkle import (
@@ -54,6 +60,9 @@ __all__ = [
     "REQUEST_MODES",
     "AntiEntropyDaemon",
     "AntiEntropyScheduler",
+    "AsyncClusterClient",
+    "AsyncServerNode",
+    "AsyncioCluster",
     "CallbackResolver",
     "CausalContext",
     "ClientSession",

@@ -1,0 +1,69 @@
+"""Transport-agnostic protocol state machines for the replicated KV store.
+
+The request-handling core of the Dynamo-style protocol — coordination,
+replica handlers, Merkle anti-entropy, hinted-handoff replay and the client
+half — extracted from the simulated cluster into pure machines that consume
+decoded messages and timer events and emit effects.  Both the deterministic
+simulator (:mod:`repro.kvstore.simulated`) and the asyncio socket backend
+(:mod:`repro.kvstore.asyncio_cluster`) drive these same objects; see
+``ARCHITECTURE.md`` for the layering and how to add a third transport.
+"""
+
+from .anti_entropy import (
+    DIGEST_BYTES,
+    SYNC_MESSAGE_TYPES,
+    AntiEntropyEngine,
+    AntiEntropySession,
+    MerkleSyncStats,
+)
+from .client import ClientProtocol, RequestRecord
+from .coordinator import Coordinator, CoordinatorSession
+from .effects import (
+    ClearTimer,
+    Effect,
+    EffectList,
+    EffectRunner,
+    Send,
+    SetTimer,
+    TimerId,
+)
+from .env import DEADLINE_MODES, REQUEST_MODES, StaticProtocolEnv
+from .hints import HintReplayer
+from .latency import (
+    ADAPTIVE_DEADLINE_MULTIPLIER,
+    DEADLINE_EWMA_ALPHA,
+    PeerLatencyTracker,
+)
+from .node import ProtocolNode
+from .replica import ReplicaHandler
+from .util import chunked, default_value_size
+
+__all__ = [
+    "ADAPTIVE_DEADLINE_MULTIPLIER",
+    "AntiEntropyEngine",
+    "AntiEntropySession",
+    "ClearTimer",
+    "ClientProtocol",
+    "Coordinator",
+    "CoordinatorSession",
+    "DEADLINE_EWMA_ALPHA",
+    "DEADLINE_MODES",
+    "DIGEST_BYTES",
+    "Effect",
+    "EffectList",
+    "EffectRunner",
+    "HintReplayer",
+    "MerkleSyncStats",
+    "PeerLatencyTracker",
+    "ProtocolNode",
+    "REQUEST_MODES",
+    "ReplicaHandler",
+    "RequestRecord",
+    "Send",
+    "SetTimer",
+    "StaticProtocolEnv",
+    "SYNC_MESSAGE_TYPES",
+    "TimerId",
+    "chunked",
+    "default_value_size",
+]

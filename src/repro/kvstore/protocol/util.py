@@ -1,0 +1,18 @@
+"""Small helpers shared by the protocol state machines."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    """Yield ``items`` in consecutive slices of at most ``size`` elements."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def default_value_size(value: Any) -> int:
+    """Approximate wire size of an application value (bytes)."""
+    if isinstance(value, bytes):
+        return len(value)
+    return len(repr(value).encode("utf-8"))

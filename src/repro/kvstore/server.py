@@ -33,7 +33,8 @@ MERGE_COUNTERS = {
 #: Merkle index, rebuilds trees per exchange, or does no anti-entropy at all.
 #: The :class:`~repro.kvstore.merkle_index.MerkleIndex` increments them.
 INDEX_COUNTERS = ("keys_hashed", "buckets_rehashed", "full_rebuilds",
-                  "snapshot_digests", "fingerprints_imported")
+                  "snapshot_digests", "fingerprints_imported",
+                  "rebuilds_skipped")
 
 
 class StorageNode:
@@ -63,8 +64,12 @@ class StorageNode:
             "merkle_syncs": 0,
             "handoffs": 0,
             "hints_stored": 0,
+            "hint_replays_deferred": 0,
         }
         self.stats.update({name: 0 for name in INDEX_COUNTERS})
+        # Set by a clean shutdown, consumed (or voided) by the next restart,
+        # wipe or mutation: "the flushed index still matches the disk".
+        self._index_clean = False
 
     # ------------------------------------------------------------------ #
     # Replica-local operations
@@ -86,6 +91,7 @@ class StorageNode:
         coordinator replicates to the other replicas.
         """
         self.stats["writes"] += 1
+        self._index_clean = False
         if context is not None and context.key != key:
             raise StaleContextError(
                 f"context for key {context.key!r} used to write key {key!r}"
@@ -107,6 +113,7 @@ class StorageNode:
         (rebalancing after a membership change).
         """
         self.stats[MERGE_COUNTERS[reason]] += 1
+        self._index_clean = False
         merged = self.mechanism.merge(self.storage.get_state(key), remote_state)
         self.storage.put_state(key, merged)
         return merged
@@ -149,6 +156,7 @@ class StorageNode:
         it — a wiped node's tree must advertise "I hold nothing" or
         anti-entropy would skip the repopulation it needs.
         """
+        self._index_clean = False
         if partition is not None:
             self.storage.wipe_vnode(partition)
             return
@@ -160,15 +168,44 @@ class StorageNode:
             self.merkle_index.reset()
             self.merkle_index.attach(self.storage)
 
-    def restart(self) -> None:
-        """Process restart: disk contents survive, in-memory index does not.
+    def shutdown(self) -> None:
+        """Clean shutdown: flush the Merkle index and mark it durable.
 
-        Rebuilds the Merkle index from storage (counted in ``full_rebuilds``
-        per non-empty vnode) the way Riak reconstructs a missing hashtree at
-        startup.
+        Models stopping the process only after storage finished its
+        bookkeeping: dirty leaf buckets are flushed so the on-disk trees
+        match the on-disk key states, and the node remembers the index is
+        clean.  The next :meth:`restart` then adopts the maintained digests
+        instead of rebuilding — Riak's "hashtree marked clean on graceful
+        stop" optimisation.  Any wipe, and any mutation applied after the
+        flush, voids the cleanliness again.
         """
         if self.merkle_index is not None:
-            self.merkle_index.rebuild(self.storage)
+            self.merkle_index.flush()
+            self._index_clean = True
+
+    def restart(self) -> None:
+        """Process restart: disk contents survive; the index only if clean.
+
+        After a crash the in-memory trees are as good as gone, so the Merkle
+        index is rebuilt from storage (counted in ``full_rebuilds`` per
+        non-empty vnode) the way Riak reconstructs a missing hashtree at
+        startup.  After a clean :meth:`shutdown` the flushed trees still
+        match the disk, so they are adopted as-is and each occupied vnode's
+        avoided rebuild is counted in ``rebuilds_skipped`` instead.
+        """
+        if self.merkle_index is None:
+            return
+        if self._index_clean:
+            self._index_clean = False
+            vnode_indexes = getattr(self.merkle_index, "indexes", None)
+            if vnode_indexes is not None:
+                occupied = sum(1 for index in vnode_indexes.values()
+                               if index.key_count)
+            else:
+                occupied = 1 if self.merkle_index.key_count else 0
+            self.stats["rebuilds_skipped"] += occupied
+            return
+        self.merkle_index.rebuild(self.storage)
 
     def ingest_handoff(self, key: str, state: Any, fingerprint: Optional[bytes] = None) -> Any:
         """Absorb one key of a vnode handoff, reusing the sender's digest.
@@ -186,6 +223,7 @@ class StorageNode:
         if fingerprint is None:
             return self.local_merge(key, state, reason="handoff")
         self.stats[MERGE_COUNTERS["handoff"]] += 1
+        self._index_clean = False
         if not self.storage.has_key(key):
             self.storage.put_state(key, state, fingerprint=fingerprint)
             return state

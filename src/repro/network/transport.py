@@ -222,6 +222,29 @@ class Transport:
         handle.cancel()
 
     # ------------------------------------------------------------------ #
+    # Plain scheduled work (not a failure-detection deadline)
+    # ------------------------------------------------------------------ #
+    def schedule_task(self, delay_ms: float, callback: Callable[[], None],
+                      label: str = "task"):
+        """Schedule ordinary work ``delay_ms`` from now.
+
+        Unlike :meth:`schedule_deadline` this carries no deadline statistics:
+        it is the primitive behind coalescing windows and similar scheduled
+        work, where firing is the normal case rather than a failure signal.
+        """
+        return self.simulation.schedule(delay_ms, callback, label=label)
+
+    def cancel_task(self, handle) -> None:
+        """Disarm a scheduled task (idempotent; None is tolerated)."""
+        if handle is None or handle.cancelled:
+            return
+        handle.cancel()
+
+    def now_ms(self) -> float:
+        """The transport's clock (virtual milliseconds)."""
+        return self.simulation.now
+
+    # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
     @property

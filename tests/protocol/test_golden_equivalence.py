@@ -1,0 +1,127 @@
+"""The refactor's bit-for-bit contract: the simulator reproduces golden stats.
+
+``golden_cluster_stats.json`` was captured from a fixed-seed cluster run
+*before* the protocol logic moved out of ``simulated.py`` into the
+transport-agnostic state machines.  Re-running the identical scenario through
+the refactored stack must reproduce every number exactly — message counts,
+bytes, deadlines, virtual timestamps, per-stat totals, Merkle exchange
+counters.  Any drift means the state machines changed behavior, not just
+address.
+
+The scenario is deliberately eventful: four servers, three clients, a mixed
+workload, one node failing mid-run and recovering later — so it exercises
+quorum coordination, deadlines and failover, sloppy quorums with hinted
+handoff (async mode), read repair, and Merkle anti-entropy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.clocks import create
+from repro.cluster import QuorumConfig
+from repro.kvstore import SimulatedCluster
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_cluster_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: Stats added after the golden capture; they observe behavior that did not
+#: exist (or was not counted) then, so the golden scenario must keep them at
+#: zero — any other value means the run itself changed.
+POST_GOLDEN_ZERO_STATS = ("rebuilds_skipped", "hint_replays_deferred")
+
+
+def run_golden_scenario(mechanism_name: str, request_mode: str):
+    """The exact scenario the golden fixture was captured from."""
+    cluster = SimulatedCluster(
+        create(mechanism_name),
+        server_ids=("A", "B", "C", "D"),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=request_mode == "async"),
+        seed=1234,
+        request_mode=request_mode,
+        anti_entropy_interval_ms=40.0,
+        hint_replay_interval_ms=25.0,
+    )
+    rng = random.Random(1234 + 99)
+    clients = [cluster.client(f"c{index}") for index in range(3)]
+    keys = ["cart", "user", "inv"]
+
+    def issue(index: int) -> None:
+        client = clients[index % 3]
+        key = keys[rng.randrange(3)]
+        if rng.random() < 0.55:
+            client.put(key, f"v{index}")
+        else:
+            client.get(key)
+
+    at = 0.0
+    for index in range(60):
+        at += 3.0
+        cluster.simulation.schedule_at(at, lambda index=index: issue(index))
+    cluster.simulation.schedule_at(60.0, lambda: cluster.fail_node("B"))
+    cluster.simulation.schedule_at(130.0, lambda: cluster.recover_node("B"))
+    cluster.simulation.run(until=400.0)
+    cluster.converge()
+    return cluster
+
+
+def snapshot(cluster: SimulatedCluster) -> dict:
+    """The observable footprint of a run, shaped like the golden fixture."""
+    records = cluster.all_request_records()
+    merkle = cluster.merkle_stats
+    return {
+        "stat_totals": cluster.stat_totals(),
+        "merkle": {
+            "exchanges_started": merkle.exchanges_started,
+            "exchanges_clean": merkle.exchanges_clean,
+            "levels_sent": merkle.levels_sent,
+            "keys_transferred": merkle.keys_transferred,
+            "partitions_compared": merkle.partitions_compared,
+            "partitions_differing": merkle.partitions_differing,
+        },
+        "transport_sent": cluster.transport.stats.sent,
+        "transport_delivered": cluster.transport.stats.delivered,
+        "bytes_delivered": cluster.transport.stats.bytes_delivered,
+        "deadlines_set": cluster.transport.stats.deadlines_set,
+        "records": len(records),
+        "ok": sum(1 for record in records if record.ok),
+        "latency_sum": round(sum(record.latency_ms for record in records), 6),
+        "sync_bytes": cluster.sync_bytes(),
+        "metadata_bytes": cluster.metadata_bytes(),
+        "now": round(cluster.simulation.now, 6),
+        "events": cluster.simulation.events_processed,
+    }
+
+
+@pytest.mark.parametrize("scenario_key", sorted(GOLDEN))
+def test_simulator_matches_pre_refactor_golden_stats(scenario_key):
+    mechanism_name, request_mode = scenario_key.split(":")
+    cluster = run_golden_scenario(mechanism_name, request_mode)
+    actual = snapshot(cluster)
+    expected = GOLDEN[scenario_key]
+
+    # Stats introduced after the capture must not fire in this scenario.
+    actual_totals = actual["stat_totals"]
+    for stat in POST_GOLDEN_ZERO_STATS:
+        assert actual_totals.pop(stat, 0) == 0, (
+            f"{stat} fired during the golden scenario — the run changed")
+
+    for field in expected:
+        assert actual[field] == expected[field], (
+            f"{scenario_key}: {field} diverged from the pre-refactor capture")
+
+
+def test_golden_fixture_is_eventful():
+    """Guard the fixture itself: the scenario must exercise the whole stack."""
+    for scenario_key, expected in GOLDEN.items():
+        assert expected["records"] == 60, scenario_key
+        assert expected["merkle"]["exchanges_started"] > 0, scenario_key
+        # the failed node forces fallback writes and hinted handoff
+        assert expected["stat_totals"]["hints_stored"] > 0, scenario_key
+        if scenario_key.endswith(":async"):
+            # deadline-driven coordination only exists in async mode
+            assert expected["deadlines_set"] > 0, scenario_key
