@@ -135,3 +135,75 @@ def test_report_kernel_costs(publish):
                          title="Ablation — kernel operation costs")
     publish("ablation_kernel_costs", table)
     assert rows
+
+
+# --------------------------------------------------------------------------- #
+# Smoke mode: wire-codec costs per mechanism, persisted for the dashboard
+# --------------------------------------------------------------------------- #
+def _representative_clocks():
+    """One representative stored clock per mechanism, as shipped on the wire."""
+    histories = build_histories()
+    return {
+        "dvv": build_dvv_siblings()[0],
+        "dvvset": build_dvvset(),
+        "server_vv": VersionVector({server: 40 for server in SERVERS}),
+        "client_vv": VersionVector({f"client-{i}": i + 1 for i in range(64)}),
+        "causal_history": histories[0].merge(histories[1]),
+    }
+
+
+def run_smoke(results_path: str, iterations: int = 2000) -> int:
+    """Measure encode/decode cost and encoded size of every clock type."""
+    import json
+    import pathlib
+    import sys
+    import time
+
+    from repro.core.serialization import decode, encode, encoded_size, entry_count
+
+    def cost_ns(callable_, *args):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            callable_(*args)
+        return (time.perf_counter() - start) / iterations * 1e9
+
+    results = {"benchmark": "clock_operations", "iterations": iterations,
+               "mechanisms": {}}
+    rows = []
+    for name, clock in sorted(_representative_clocks().items()):
+        encoded = encode(clock)
+        if type(decode(encoded)) is not type(clock):
+            print(f"FAIL: {name} does not round-trip through the wire codec",
+                  file=sys.stderr)
+            return 1
+        measured = {
+            "encode_ns": round(cost_ns(encode, clock), 1),
+            "decode_ns": round(cost_ns(decode, encoded), 1),
+            "encoded_bytes": encoded_size(clock),
+            "entries": entry_count(clock),
+        }
+        results["mechanisms"][name] = measured
+        rows.append([name, measured["encode_ns"], measured["decode_ns"],
+                     measured["encoded_bytes"], measured["entries"]])
+    print(render_table(
+        ["mechanism", "encode (ns)", "decode (ns)", "bytes", "entries"],
+        rows, title="Clock wire-codec smoke"))
+    pathlib.Path(results_path).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {results_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="measure wire-codec encode/decode costs and sizes")
+    parser.add_argument("--iterations", type=int, default=2000)
+    parser.add_argument("--out", default="BENCH_clock_operations.json",
+                        help="where --smoke writes its measured numbers as JSON")
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run under pytest for the full benchmark, or pass --smoke")
+    raise SystemExit(run_smoke(results_path=args.out, iterations=args.iterations))

@@ -51,6 +51,38 @@ DEFAULT_COMPARISON = ["dvv", "dvvset", "client_vv", "client_vv_pruned_5", "serve
 
 
 # --------------------------------------------------------------------------- #
+# Observability plumbing shared by the cluster-running subcommands
+# --------------------------------------------------------------------------- #
+def _open_tracer(trace_path: Optional[str]):
+    """A (tracer, sink) pair writing JSONL span events, or (None, None)."""
+    if trace_path is None:
+        return None, None
+    from .obs import JsonlTraceSink, Tracer
+
+    sink = JsonlTraceSink(trace_path)
+    return Tracer(sink), sink
+
+
+def _finish_trace(sink, trace_path: Optional[str]) -> None:
+    if sink is not None:
+        sink.close()
+        print(f"trace: {sink.events_written} span events -> {trace_path}")
+
+
+def _write_stats_json(cluster, stats_path: Optional[str]) -> None:
+    """Dump the cluster's unified metrics snapshot as JSON."""
+    if stats_path is None or cluster is None:
+        return
+    import json
+
+    snapshot = cluster.metrics_snapshot()
+    with open(stats_path, "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"stats: {len(snapshot)} metrics -> {stats_path}")
+
+
+# --------------------------------------------------------------------------- #
 # Subcommand implementations
 # --------------------------------------------------------------------------- #
 def cmd_mechanisms(_args: argparse.Namespace) -> int:
@@ -154,9 +186,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_churn(args: argparse.Namespace) -> int:
     """Run a churn scenario (elastic membership / flappy replica) and report."""
+    tracer, sink = _open_tracer(args.trace)
     report = run_churn_scenario(args.scenario, create(args.mechanism), seed=args.seed,
                                 quorum_mode=args.quorum_mode,
-                                anti_entropy_strategy=args.anti_entropy)
+                                anti_entropy_strategy=args.anti_entropy,
+                                tracer=tracer)
     stats = report.stats
     print(render_table(
         ["metric", "value"],
@@ -181,6 +215,8 @@ def cmd_churn(args: argparse.Namespace) -> int:
         ],
         title=f"Churn scenario {report.scenario!r} under {report.mechanism}",
     ))
+    _write_stats_json(report.cluster, args.stats_json)
+    _finish_trace(sink, args.trace)
     return 0 if report.converged else 1
 
 
@@ -193,6 +229,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     """
     if args.backend == "asyncio":
         return _cmd_cluster_asyncio(args)
+    tracer, sink = _open_tracer(args.trace)
     cluster = SimulatedCluster(
         create(args.mechanism),
         server_ids=tuple(f"n{i}" for i in range(args.servers)),
@@ -208,6 +245,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         merkle_maintenance=args.merkle_maintenance,
         partition_count=args.partitions,
         seed=args.seed,
+        tracer=tracer,
     )
     workload = ClosedLoopConfig(
         keys=tuple(f"key-{i}" for i in range(args.keys)),
@@ -249,6 +287,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         ],
         title="Simulated cluster run",
     ))
+    _write_stats_json(cluster, args.stats_json)
+    _finish_trace(sink, args.trace)
     return 0
 
 
@@ -260,6 +300,7 @@ def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
     from .kvstore import AsyncioCluster
 
     async def run() -> int:
+        tracer, sink = _open_tracer(args.trace)
         cluster = AsyncioCluster(
             create(args.mechanism),
             server_ids=tuple(f"n{i}" for i in range(args.servers)),
@@ -270,6 +311,7 @@ def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
             deadline_mode=args.deadline_mode,
             merkle_maintenance=args.merkle_maintenance,
             partition_count=args.partitions,
+            tracer=tracer,
         )
         keys = [f"key-{i}" for i in range(args.keys)]
         duration_s = args.duration_ms / 1000.0
@@ -319,6 +361,9 @@ def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
                 ],
                 title="Asyncio cluster run",
             ))
+        # The shutdown-captured snapshot includes the daemons' final work.
+        _write_stats_json(cluster, args.stats_json)
+        _finish_trace(sink, args.trace)
         return 0
 
     return asyncio.run(run())
@@ -409,6 +454,7 @@ def cmd_connect(args: argparse.Namespace) -> int:
     placement = PlacementService(ring, Membership(manifest["server_ids"]),
                                  quorum,
                                  partition_map=PartitionMap(manifest["partition_count"]))
+    tracer, sink = _open_tracer(args.trace)
     env = StaticProtocolEnv(
         mechanism=mechanism,
         quorum=quorum,
@@ -420,6 +466,8 @@ def cmd_connect(args: argparse.Namespace) -> int:
         client_timeout_ms=manifest["client_timeout_ms"],
         request_overhead_bytes=manifest["request_overhead_bytes"],
     )
+    if tracer is not None:
+        env.tracer = tracer
 
     async def run() -> int:
         client = AsyncClusterClient(args.client_id, env,
@@ -449,6 +497,7 @@ def cmd_connect(args: argparse.Namespace) -> int:
             return 0
         finally:
             await client.close()
+            _finish_trace(sink, args.trace)
 
     return asyncio.run(run())
 
@@ -511,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="strict quorums fail writes when primaries are unreachable; "
                             "sloppy quorums fall back to the next ring nodes")
     churn.add_argument("--seed", type=int, default=2012)
+    churn.add_argument("--stats-json", default=None, dest="stats_json", metavar="PATH",
+                       help="write the cluster's unified metrics snapshot as JSON")
+    churn.add_argument("--trace", default=None, metavar="PATH",
+                       help="record per-request span events as JSONL")
     churn.set_defaults(handler=cmd_churn)
 
     cluster = subparsers.add_parser("cluster",
@@ -549,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--write-fraction", type=float, default=0.6, dest="write_fraction")
     cluster.add_argument("--bytes-per-ms", type=float, default=600.0, dest="bytes_per_ms")
     cluster.add_argument("--seed", type=int, default=2012)
+    cluster.add_argument("--stats-json", default=None, dest="stats_json", metavar="PATH",
+                         help="write the cluster's unified metrics snapshot as JSON "
+                              "(same schema for both backends)")
+    cluster.add_argument("--trace", default=None, metavar="PATH",
+                         help="record per-request span events as JSONL")
     cluster.set_defaults(handler=cmd_cluster)
 
     serve = subparsers.add_parser("serve",
@@ -567,6 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument("--socket-dir", required=True, dest="socket_dir",
                          help="the socket directory `serve` printed")
     connect.add_argument("--client-id", default="cli", dest="client_id")
+    connect.add_argument("--trace", default=None, metavar="PATH",
+                         help="record the request's client-side span events as JSONL")
     connect.add_argument("operation", choices=["get", "put"])
     connect.add_argument("key")
     connect.add_argument("value", nargs="?", default=None)

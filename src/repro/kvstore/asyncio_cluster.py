@@ -43,10 +43,19 @@ from ..cluster.ring import DEFAULT_PARTITION_COUNT, ConsistentHashRing, Partitio
 from ..core.exceptions import ConfigurationError
 from ..network.asyncio_transport import Address, AsyncioEndpoint
 from ..network.message import Message
+from ..obs.cluster_metrics import build_cluster_registry
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NO_TRACER
 from .client import GetResult, PutResult
 from .merkle import key_fingerprint
 from .merkle_index import VnodeIndexSet
-from .protocol import ClientProtocol, EffectRunner, MerkleSyncStats, ProtocolNode
+from .protocol import (
+    SYNC_MESSAGE_TYPES,
+    ClientProtocol,
+    EffectRunner,
+    MerkleSyncStats,
+    ProtocolNode,
+)
 from .protocol.env import StaticProtocolEnv
 from .write_log import WriteLog
 
@@ -224,7 +233,8 @@ class AsyncioCluster:
                  read_repair_batch_ms: float = 2.0,
                  virtual_nodes: int = 32,
                  partition_count: int = DEFAULT_PARTITION_COUNT,
-                 request_overhead_bytes: int = 64) -> None:
+                 request_overhead_bytes: int = 64,
+                 tracer: Optional[Any] = None) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
         if transport not in ("unix", "tcp"):
@@ -276,7 +286,9 @@ class AsyncioCluster:
             deadline_floor_ms=replica_timeout_ms / 5.0,
             deadline_ceiling_ms=replica_timeout_ms,
             request_overhead_bytes=request_overhead_bytes,
+            tracer=tracer if tracer is not None else NO_TRACER,
         )
+        self.tracer = self.env.tracer
         #: node id → listen address; a plain dict for TCP, a
         #: :class:`UnixDirAddressBook` once a unix cluster starts.
         self.address_book: Any = {}
@@ -287,6 +299,12 @@ class AsyncioCluster:
             [(a, b) for a in self.server_ids for b in self.server_ids if a != b]
         ) if len(self.server_ids) > 1 else None
         self._started = False
+        self._metrics_registry: Optional[MetricsRegistry] = None
+        #: Metrics captured at shutdown, after the daemons stopped but
+        #: before the transports closed — without it, stats accumulated by
+        #: the anti-entropy and hint-replay daemons' last in-flight work
+        #: would be unreadable once the endpoints are gone.
+        self._final_snapshot: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -328,6 +346,7 @@ class AsyncioCluster:
             self._daemon_tasks.append(asyncio.get_running_loop().create_task(
                 self._hint_replay_daemon()))
         self._started = True
+        self._final_snapshot = None
 
     async def stop(self) -> None:
         """Cancel daemons, close every endpoint, remove Unix sockets."""
@@ -339,6 +358,11 @@ class AsyncioCluster:
             except asyncio.CancelledError:
                 pass
         self._daemon_tasks.clear()
+        # Flush the final metrics while every endpoint's stats object is
+        # still alive: the daemons have stopped, so the counters are
+        # complete, and snapshots taken after shutdown stay meaningful.
+        if self.servers:
+            self._final_snapshot = self.metrics_registry().snapshot()
         for client in self.clients.values():
             await client.close()
         for server in self.servers.values():
@@ -444,6 +468,28 @@ class AsyncioCluster:
         totals["pending_hints"] = sum(server.node.pending_hints()
                                       for server in self.servers.values())
         return totals
+
+    def sync_bytes(self) -> int:
+        """Total bytes sent so far on anti-entropy messages (all endpoints)."""
+        return sum(server.endpoint.stats.bytes_for(*SYNC_MESSAGE_TYPES)
+                   for server in self.servers.values())
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The cluster's unified metrics registry (built once, reads live)."""
+        if self._metrics_registry is None:
+            self._metrics_registry = build_cluster_registry(self)
+        return self._metrics_registry
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One flat, stable, JSON-serializable view of every cluster stat.
+
+        After :meth:`stop` this returns the snapshot captured at shutdown
+        (daemons drained, transports still open), so no daemon work from the
+        final interval is lost.
+        """
+        if self._final_snapshot is not None:
+            return dict(self._final_snapshot)
+        return self.metrics_registry().snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (f"AsyncioCluster(mechanism={self.mechanism.name!r}, "

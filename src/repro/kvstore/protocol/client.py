@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ...clocks.interface import Sibling
 from ...network.message import Message, MessageType
+from ...obs.trace import NO_TRACER
 from ..client import ClientSession, GetResult, PutResult
 from .effects import ClearTimer, EffectList, Send, SetTimer
 from .util import default_value_size
@@ -68,6 +69,11 @@ class ClientProtocol:
         self._operations: Dict[int, Dict[str, Any]] = {}
         self._deadlines: Dict[int, bool] = {}
         self._out: EffectList = []
+
+    @property
+    def tracer(self):
+        """The env's span emitter (the inert :data:`NO_TRACER` by default)."""
+        return getattr(self.env, "tracer", NO_TRACER)
 
     # ------------------------------------------------------------------ #
     # Effect plumbing
@@ -163,6 +169,17 @@ class ClientProtocol:
             payload=payload,
             size_bytes=size_bytes,
         )
+        span = None
+        tracer = self.tracer
+        if tracer.enabled:
+            # The request's root span; the coordinator links under it via the
+            # inert ``payload["trace"]`` context, so one trace id covers the
+            # whole request across nodes (and across client failovers).
+            span = tracer.start(
+                f"client.{operation}", self.address, self.now,
+                trace=f"{self.address}#{message.msg_id}",
+                key=key, coordinator=candidates[0])
+            payload["trace"] = span
         self._register(message, operation, key, callback)
         self._operations[message.msg_id].update({
             "candidates": candidates,
@@ -170,6 +187,7 @@ class ClientProtocol:
             "msg_type": msg_type,
             "payload": payload,
             "size_bytes": size_bytes,
+            "span": span,
         })
         if self.env.request_mode == "async":
             self._arm_client_deadline(message.msg_id)
@@ -206,6 +224,12 @@ class ClientProtocol:
         # the retry's coordinator mints a second server-side dot over the
         # same causal past, and the value can survive as a duplicate sibling
         # — the standard Dynamo client-retry trade-off; nothing is lost.
+        span = info.get("span")
+        if span is not None and self.tracer.enabled:
+            self.tracer.point("client.failover", self.address, self.now,
+                              trace=span[0], parent=span[1],
+                              abandoned=candidates[attempt - 1],
+                              next=candidates[attempt])
         self._operations.pop(request_id, None)
         callback = self._callbacks.pop(request_id, None)
         started = self._started.pop(request_id, self.now)
@@ -232,6 +256,7 @@ class ClientProtocol:
         started = self._started.pop(request_id, self.now)
         if self._deadlines.pop(request_id, None):
             self.emit(ClearTimer(("client", request_id)))
+        self._end_root_span(info, status=reason)
         self.records.append(RequestRecord(
             operation=info["operation"],
             key=info["key"],
@@ -244,6 +269,12 @@ class ClientProtocol:
         ))
         if callback is not None:
             callback(None)
+
+    def _end_root_span(self, info: Optional[Dict[str, Any]],
+                       status: str) -> None:
+        span = info.get("span") if info else None
+        if span is not None and self.tracer.enabled:
+            self.tracer.end(span, self.now, status=status)
 
     def _on_error_reply(self, message: Message) -> None:
         """The coordinator gave up (quorum infeasible / request deadline)."""
@@ -263,6 +294,7 @@ class ClientProtocol:
             return
         if self._deadlines.pop(request_id, None):
             self.emit(ClearTimer(("client", request_id)))
+        self._end_root_span(info, status="ok")
         callback = self._callbacks.pop(request_id, None)
         started = self._started.pop(request_id, self.now)
         key = message.payload["key"]
@@ -297,6 +329,7 @@ class ClientProtocol:
             return
         if self._deadlines.pop(request_id, None):
             self.emit(ClearTimer(("client", request_id)))
+        self._end_root_span(info, status="ok")
         callback = self._callbacks.pop(request_id, None)
         started = self._started.pop(request_id, self.now)
         key = message.payload["key"]

@@ -73,6 +73,11 @@ class CoordinatorSession:
     #: fallback -> the primary it stands in for (hint chains survive
     #: a fallback itself timing out).
     standing_in: Dict[str, str] = field(default_factory=dict)
+    #: tracing (inert unless a tracer is installed): the coordinator span's
+    #: ``(trace_id, span_id)`` reference, and one open span per contacted
+    #: replica awaiting its ack/deadline.
+    trace: Any = None
+    replica_spans: Dict[str, Any] = field(default_factory=dict)
 
 
 class Coordinator:
@@ -89,6 +94,83 @@ class Coordinator:
         # coalescing window closes.
         self.repair_queue: Dict[str, Dict[str, Any]] = {}
         self._repair_flush_scheduled = False
+
+    # ------------------------------------------------------------------ #
+    # Tracing (every helper is a no-op without an installed tracer; span
+    # events go straight to the sink, never through the effect system, so
+    # tracing cannot perturb coordination)
+    # ------------------------------------------------------------------ #
+    def _trace_begin(self, pending: CoordinatorSession, message: Message) -> None:
+        """Open the coordinator span, linked under the client's root span."""
+        node = self._node
+        tracer = node.tracer
+        if not tracer.enabled:
+            return
+        ctx = message.payload.get("trace")
+        trace_id = ctx[0] if ctx else f"{message.sender}#{message.msg_id}"
+        parent = ctx[1] if ctx else None
+        pending.trace = tracer.start(
+            f"coordinator.{pending.kind}", node.node_id, node.now,
+            trace=trace_id, parent=parent, key=pending.key, mode=pending.mode)
+
+    def _trace_replica(self, pending: CoordinatorSession, replica_id: str,
+                       hint_for: Optional[str] = None):
+        """Open one contacted replica's span (fan-out / fallback contact)."""
+        node = self._node
+        tracer = node.tracer
+        if not tracer.enabled or pending.trace is None:
+            return None
+        attrs: Dict[str, Any] = {"replica": replica_id}
+        if hint_for is not None:
+            attrs["hint_for"] = hint_for
+        ref = tracer.start(
+            f"replica.{pending.kind}", node.node_id, node.now,
+            trace=pending.trace[0], parent=pending.trace[1], **attrs)
+        pending.replica_spans[replica_id] = ref
+        return ref
+
+    def _trace_replica_end(self, pending: CoordinatorSession,
+                           replica_id: str, status: str) -> None:
+        ref = pending.replica_spans.pop(replica_id, None)
+        if ref is not None:
+            self._node.tracer.end(ref, self._node.now, status=status)
+
+    def _trace_end_replicas(self, pending: CoordinatorSession,
+                            status: str) -> None:
+        """Close every still-open replica span (session is being dropped)."""
+        if not pending.replica_spans:
+            return
+        tracer = self._node.tracer
+        if tracer.enabled:
+            for ref in pending.replica_spans.values():
+                tracer.end(ref, self._node.now, status=status)
+        pending.replica_spans.clear()
+
+    def _trace_end_session(self, pending: CoordinatorSession, status: str,
+                           **attrs: Any) -> None:
+        if pending.trace is not None:
+            tracer = self._node.tracer
+            if tracer.enabled:
+                tracer.end(pending.trace, self._node.now, status=status, **attrs)
+
+    def _trace_point(self, pending: CoordinatorSession, name: str,
+                     **attrs: Any):
+        node = self._node
+        tracer = node.tracer
+        if not tracer.enabled or pending.trace is None:
+            return None
+        return tracer.point(name, node.node_id, node.now,
+                            trace=pending.trace[0], parent=pending.trace[1],
+                            **attrs)
+
+    def _store_hint_traced(self, pending: Optional[CoordinatorSession],
+                           primary_id: str, key: str, state: Any) -> None:
+        """Hold a hint locally, marking it in the request's span tree."""
+        hint_ref = None
+        if pending is not None:
+            hint_ref = self._trace_point(pending, "hint.stored",
+                                         target=primary_id, key=key)
+        self._node.store.store_hint(primary_id, key, state, trace=hint_ref)
 
     # ------------------------------------------------------------------ #
     # Coordinating a GET
@@ -111,6 +193,7 @@ class Coordinator:
             needed=min(config.r, max(len(replicas), 1)),
         )
         self.sessions[request_id] = pending
+        self._trace_begin(pending, message)
 
         # The coordinator replies for itself immediately (no network hop).
         pending.replies.append((node.node_id, node.store.state_of(key)))
@@ -119,6 +202,7 @@ class Coordinator:
         for replica_id in replicas:
             if replica_id == node.node_id:
                 continue
+            self._trace_replica(pending, replica_id)
             node.emit(Send(Message(
                 sender=node.node_id,
                 receiver=replica_id,
@@ -145,6 +229,7 @@ class Coordinator:
             mode="async",
         )
         self.sessions[request_id] = pending
+        self._trace_begin(pending, message)
         pending.tried.append(node.node_id)
         primaries = env.placement.primary_replicas(key)
         # The coordinator's own state only counts toward R when it is one of
@@ -169,6 +254,7 @@ class Coordinator:
         if message.sender in pending.replied_nodes:
             return  # duplicate delivery
         self._observe_ack_latency(pending, message.sender)
+        self._trace_replica_end(pending, message.sender, "ok")
         if pending.deadlines.pop(message.sender, None):
             self._node.emit(ClearTimer(("replica", coordination_id, message.sender)))
         pending.replies.append((message.sender, message.payload["state"]))
@@ -197,6 +283,8 @@ class Coordinator:
         for replica_id in plan.stale_replicas:
             if replica_id == node.node_id:
                 continue
+            self._trace_point(pending, "read_repair.queued",
+                              target=replica_id, key=pending.key)
             self.queue_read_repair(replica_id, pending.key, merged_state)
 
         context_bytes = node.mechanism.context_bytes(read.context)
@@ -215,6 +303,8 @@ class Coordinator:
             size_bytes=values_bytes + context_bytes + env.request_overhead_bytes,
             request_id=pending.request_id,
         )))
+        self._trace_end_session(pending, "ok", replies=len(pending.replies),
+                                stale=len(plan.stale_replicas))
         self.sessions.pop(coordination_id, None)
 
     # ------------------------------------------------------------------ #
@@ -247,12 +337,14 @@ class Coordinator:
             sibling=sibling,
         )
         self.sessions[request_id] = pending
+        self._trace_begin(pending, message)
         pending.replies.append((node.node_id, True))
         pending.replied_nodes.append(node.node_id)
 
         for replica_id in replicas:
             if replica_id == node.node_id:
                 continue
+            self._trace_replica(pending, replica_id)
             node.emit(Send(Message(
                 sender=node.node_id,
                 receiver=replica_id,
@@ -269,7 +361,7 @@ class Coordinator:
                 if primary_id == node.node_id:
                     continue
                 if not env.can_reach(node.node_id, primary_id):
-                    node.store.store_hint(primary_id, key, new_state)
+                    self._store_hint_traced(pending, primary_id, key, new_state)
         self._maybe_finish_put(request_id)
 
     def _coordinate_put_async(self, message: Message, key: str,
@@ -297,6 +389,7 @@ class Coordinator:
             mode="async",
         )
         self.sessions[request_id] = pending
+        self._trace_begin(pending, message)
         pending.tried.append(node.node_id)
         primaries = env.placement.primary_replicas(key)
         if node.node_id in primaries:
@@ -307,7 +400,7 @@ class Coordinator:
             # sloppy quorum its local copy counts as a fallback ack, and like
             # any fallback it holds a hint so the write reaches a primary.
             if env.hinted_handoff_enabled:
-                node.store.store_hint(primaries[0], key, new_state)
+                self._store_hint_traced(pending, primaries[0], key, new_state)
             pending.replies.append((node.node_id, True))
             pending.replied_nodes.append(node.node_id)
         # (strict quorum on a non-home coordinator: only primary acks count)
@@ -331,11 +424,16 @@ class Coordinator:
         pending.tried.append(replica_id)
         if hint_for is not None:
             pending.standing_in[replica_id] = hint_for
+        ref = self._trace_replica(pending, replica_id, hint_for=hint_for)
         if pending.kind == "put":
             payload = {"key": pending.key, "state": pending.new_state,
                        "coordination_id": coordination_id}
             if hint_for is not None:
                 payload["hint_for"] = hint_for
+            if ref is not None:
+                # Propagate span context on the wire so a fallback replica
+                # can parent its own hint.stored point under this contact.
+                payload["trace"] = ref
             message = Message(
                 sender=node.node_id,
                 receiver=replica_id,
@@ -408,6 +506,7 @@ class Coordinator:
             self._cleanup_if_settled(coordination_id, pending)
             return
         pending.timed_out.append(replica_id)
+        self._trace_replica_end(pending, replica_id, "timeout")
         # The primary this contact was (transitively) standing in for.
         primary = pending.standing_in.get(replica_id, replica_id)
         extend = env.quorum.sloppy and (pending.kind == "put" or not pending.done)
@@ -416,6 +515,8 @@ class Coordinator:
                                                      exclude=pending.tried)
             fallback = candidates[0] if candidates else None
             if fallback is not None:
+                self._trace_point(pending, "fallback.promotion",
+                                  primary=primary, fallback=fallback)
                 self._send_async_replica_request(coordination_id, pending, fallback,
                                                  hint_for=primary if pending.kind == "put" else None)
                 return
@@ -423,7 +524,8 @@ class Coordinator:
         # primary still converges once it is reachable again.
         if (pending.kind == "put" and env.hinted_handoff_enabled
                 and primary != node.node_id):
-            node.store.store_hint(primary, pending.key, pending.new_state)
+            self._store_hint_traced(pending, primary, pending.key,
+                                    pending.new_state)
         if not pending.done:
             possible = len(pending.replies) + len(pending.deadlines)
             if possible < pending.needed:
@@ -453,6 +555,7 @@ class Coordinator:
             return
         pending.done = True
         self._cancel_pending_timers(coordination_id, pending)
+        self._trace_end_session(pending, reason)
         node.emit(Send(Message(
             sender=node.node_id,
             receiver=pending.client_address,
@@ -471,6 +574,9 @@ class Coordinator:
         if pending.request_deadline:
             self._node.emit(ClearTimer(("request", coordination_id)))
             pending.request_deadline = False
+        # Replicas no longer awaited (quorum met or request failed): close
+        # their spans so the tree has no dangling opens.
+        self._trace_end_replicas(pending, "cancelled")
 
     # ------------------------------------------------------------------ #
     # Replica-side acks
@@ -483,6 +589,7 @@ class Coordinator:
         if message.sender in pending.replied_nodes:
             return  # duplicate delivery
         self._observe_ack_latency(pending, message.sender)
+        self._trace_replica_end(pending, message.sender, "ok")
         if pending.deadlines.pop(message.sender, None):
             self._node.emit(ClearTimer(("replica", coordination_id, message.sender)))
         pending.replied_nodes.append(message.sender)
@@ -527,12 +634,17 @@ class Coordinator:
             size_bytes=context_bytes + env.request_overhead_bytes,
             request_id=pending.request_id,
         )))
+        # The session span closes at quorum; its reference stays on the
+        # session so the handoff tail (later fallback promotions, hints)
+        # still parents under it — children may outlive the parent span.
+        self._trace_end_session(pending, "ok", acks=len(pending.replies))
         self._cleanup_if_settled(coordination_id, pending)
 
     def _cleanup_if_settled(self, coordination_id: int,
                             pending: CoordinatorSession) -> None:
         """Drop a finished coordination once no replica deadline is armed."""
         if pending.done and not pending.deadlines:
+            self._trace_end_replicas(pending, "unawaited")
             self.sessions.pop(coordination_id, None)
 
     # ------------------------------------------------------------------ #

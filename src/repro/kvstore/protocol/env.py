@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ...obs.trace import NO_TRACER
+
 #: How coordinators decide whom to contact: consult the membership view's
 #: failure detector ("membership", the default), or fan out with per-replica
 #: deadlines and sloppy-quorum fallbacks ("async").
@@ -72,3 +74,9 @@ class StaticProtocolEnv:
     can_reach: Callable[[str, str], bool] = field(default=lambda s, t: True)
     #: Liveness of a local process (simulated crashes drop queued work).
     is_registered: Callable[[str], bool] = field(default=lambda n: True)
+    #: Span emitter for per-request tracing (see :mod:`repro.obs.trace`).
+    #: The default null tracer makes every instrumented path a single
+    #: ``tracer.enabled`` check; span events go straight to the tracer's
+    #: sink, never through the effect system, so tracing cannot perturb
+    #: protocol behaviour.
+    tracer: Any = NO_TRACER

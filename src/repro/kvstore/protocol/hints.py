@@ -55,7 +55,18 @@ class HintReplayer:
                     + node.latency.ewma[target_id] * env.hint_backoff_multiplier
                 )
             hints = node.store.hints_for(target_id)
+            tracer = node.tracer
             for chunk in chunked(hints, env.sync_batch_size):
+                if tracer.enabled:
+                    # Close the loop of each hint's originating request: the
+                    # replay appears in the span tree of the write that
+                    # stored the hint, however many ticks later it runs.
+                    for hint in chunk:
+                        if hint.trace is not None:
+                            tracer.point("hint.replay", node.node_id, node.now,
+                                         trace=hint.trace[0],
+                                         parent=hint.trace[1],
+                                         target=target_id, key=hint.key)
                 payload_hints = [(hint.hint_id, hint.key, hint.state) for hint in chunk]
                 size = (sum(node.payload_state_size(hint.key, hint.state)
                             for hint in chunk)

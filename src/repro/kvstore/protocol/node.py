@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from ...network.message import Message, MessageType
+from ...obs.trace import NO_TRACER
 from ..server import StorageNode
 from .anti_entropy import AntiEntropyEngine
 from .coordinator import Coordinator
@@ -76,6 +77,11 @@ class ProtocolNode:
             MessageType.KEY_HANDOFF: self.replica.on_key_handoff,
             MessageType.PING: self.replica.on_ping,
         }
+
+    @property
+    def tracer(self):
+        """The env's span emitter (the inert :data:`NO_TRACER` by default)."""
+        return getattr(self.env, "tracer", NO_TRACER)
 
     # ------------------------------------------------------------------ #
     # Effect plumbing (machines call node.emit; entry points drain)

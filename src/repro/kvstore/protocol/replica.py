@@ -43,7 +43,16 @@ class ReplicaHandler:
         hint_for = message.payload.get("hint_for")
         if (hint_for is not None and hint_for != node.node_id
                 and node.env.hinted_handoff_enabled):
-            node.store.store_hint(hint_for, key, message.payload["state"])
+            hint_ref = None
+            tracer = node.tracer
+            if tracer.enabled:
+                ctx = message.payload.get("trace")
+                if ctx:
+                    hint_ref = tracer.point(
+                        "hint.stored", node.node_id, node.now,
+                        trace=ctx[0], parent=ctx[1], target=hint_for, key=key)
+            node.store.store_hint(hint_for, key, message.payload["state"],
+                                  trace=hint_ref)
         node.store.local_merge(key, message.payload["state"])
         node.emit(Send(Message(
             sender=node.node_id,

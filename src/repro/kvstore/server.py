@@ -245,7 +245,8 @@ class StorageNode:
     # ------------------------------------------------------------------ #
     # Hinted handoff
     # ------------------------------------------------------------------ #
-    def store_hint(self, target_id: str, key: str, state: Any) -> Hint:
+    def store_hint(self, target_id: str, key: str, state: Any,
+                   trace: Any = None) -> Hint:
         """Hold a write for an unreachable replica until it recovers.
 
         Hints are persisted in the node's storage layer, so they share the
@@ -253,7 +254,7 @@ class StorageNode:
         disk loses them together with the key states.
         """
         self.stats["hints_stored"] += 1
-        return self.storage.store_hint(target_id, key, state)
+        return self.storage.store_hint(target_id, key, state, trace=trace)
 
     def hints_for(self, target_id: str) -> List[Hint]:
         """The outstanding hints destined for ``target_id`` (oldest first)."""

@@ -157,6 +157,9 @@ from ..network.message import Message
 from ..network.partition import PartitionManager
 from ..network.simulator import Simulation
 from ..network.transport import Transport
+from ..obs.cluster_metrics import build_cluster_registry
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NO_TRACER
 from .anti_entropy import AntiEntropyDaemon, HintedHandoffDaemon
 from .client import GetResult, PutResult
 from .merkle import MERKLE_MAINTENANCE_MODES, key_fingerprint
@@ -294,6 +297,10 @@ class _ClusterEnv:
 
     def is_registered(self, node_id: str) -> bool:
         return self._cluster.transport.is_registered(node_id)
+
+    @property
+    def tracer(self):
+        return self._cluster.tracer
 
 
 class MessageServer:
@@ -556,7 +563,8 @@ class SimulatedCluster:
                  deadline_ceiling_ms: Optional[float] = None,
                  virtual_nodes: int = 32,
                  partition_count: int = DEFAULT_PARTITION_COUNT,
-                 request_overhead_bytes: int = 64) -> None:
+                 request_overhead_bytes: int = 64,
+                 tracer: Optional[Any] = None) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
         if anti_entropy_strategy not in ANTI_ENTROPY_STRATEGIES:
@@ -640,8 +648,12 @@ class SimulatedCluster:
         self.deadline_ceiling_ms = resolved_ceiling
         self.hint_backoff_multiplier = hint_backoff_multiplier
         self.merkle_stats = MerkleSyncStats()
+        #: Span emitter shared by every hosted machine (inert by default;
+        #: span events bypass the simulation, so determinism is preserved).
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self._anti_entropy_interval_ms = anti_entropy_interval_ms
         self._departed_stats: Dict[str, int] = {}
+        self._metrics_registry: Optional[MetricsRegistry] = None
         #: The env the hosted protocol machines read their configuration
         #: through (live proxy, so runtime knob tweaks keep working).
         self.protocol_env = _ClusterEnv(self)
@@ -994,6 +1006,16 @@ class SimulatedCluster:
         totals["pending_hints"] = sum(server.node.pending_hints()
                                       for server in self.servers.values())
         return totals
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The cluster's unified metrics registry (built once, reads live)."""
+        if self._metrics_registry is None:
+            self._metrics_registry = build_cluster_registry(self)
+        return self._metrics_registry
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One flat, stable, JSON-serializable view of every cluster stat."""
+        return self.metrics_registry().snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -81,6 +81,10 @@ class Hint:
     target_id: str
     key: str
     state: Any
+    #: Local-only trace reference of the span/point that recorded the hint
+    #: being stored (``None`` unless tracing is enabled); never serialized
+    #: or replayed over the wire.
+    trace: Any = None
 
 
 @dataclass
@@ -296,7 +300,8 @@ class NodeStorage:
     # ------------------------------------------------------------------ #
     # Durable hints (hinted handoff)
     # ------------------------------------------------------------------ #
-    def store_hint(self, target_id: str, key: str, state: Any) -> Hint:
+    def store_hint(self, target_id: str, key: str, state: Any,
+                   trace: Any = None) -> Hint:
         """Persist a held write destined for ``target_id``.
 
         A write to a ``(target, key)`` that already has an outstanding hint
@@ -309,8 +314,10 @@ class NodeStorage:
         for hint in hints:
             if hint.key == key:
                 hint.state = self._mechanism.merge(hint.state, state)
+                if hint.trace is None:
+                    hint.trace = trace
                 return hint
-        hint = Hint(next(self._hint_ids), target_id, key, state)
+        hint = Hint(next(self._hint_ids), target_id, key, state, trace=trace)
         hints.append(hint)
         return hint
 

@@ -1,0 +1,296 @@
+"""Per-request trace spans for the protocol layer, with pluggable sinks.
+
+A *span* is one stage of a request's lifecycle — the client issuing a PUT,
+the coordinator fanning out, one replica's ack window, a fallback promotion,
+the eventual hint replay.  Spans form a tree under one *trace id* per client
+request; the id is derived from the originating message
+(``"<client-address>#<msg_id>"``), so both ends of a wire compute the same
+id without any protocol change, and cross-node links ride an inert
+``payload["trace"]`` entry (a ``(trace_id, span_id)`` string tuple the wire
+codec already round-trips).
+
+Design constraints, in order:
+
+* **Zero behavioural perturbation.**  Span events go straight to the sink —
+  never through the effect system, never onto the transport — so enabling
+  tracing cannot reorder a single message, change a byte count, or move a
+  deadline.  The golden-equivalence suite pins this bit-for-bit.
+* **Zero cost when disabled.**  Protocol handlers guard with
+  ``if tracer.enabled:``; the default :data:`NO_TRACER` is a null object
+  whose ``enabled`` is ``False``, so the untraced hot path pays one
+  attribute check.
+* **Deterministic.**  Span ids come from a per-tracer counter (no RNG, no
+  wall clock), and timestamps are whatever clock the backend already uses:
+  virtual milliseconds in the simulator, wall-clock milliseconds in asyncio.
+
+Sinks receive flat event dicts (``start`` / ``end`` / ``point``).
+:class:`InMemoryTraceSink` keeps them and reconstructs :class:`Span` trees
+for assertions; :class:`JsonlTraceSink` appends one JSON line per event for
+CLI runs.  :func:`format_span_tree` pretty-prints a trace for humans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "NO_TRACER",
+    "InMemoryTraceSink",
+    "JsonlTraceSink",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "format_span_tree",
+]
+
+#: A span reference: ``(trace_id, span_id)``.  This exact tuple is what
+#: crosses node boundaries inside message payloads.
+SpanRef = Tuple[str, str]
+
+
+class TraceSink:
+    """The sink protocol: anything with ``emit(event: dict)`` qualifies."""
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Tracer:
+    """Emits span lifecycle events into a sink.
+
+    The protocol machines hold a tracer (via their env) and call
+    :meth:`start` / :meth:`end` for stages with duration and :meth:`point`
+    for instantaneous marks.  All three are cheap dict writes; the sink
+    decides what storage means.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self._span_ids = itertools.count(1)
+
+    def start(self, name: str, node: str, now: float, trace: str,
+              parent: Optional[str] = None, **attrs: Any) -> SpanRef:
+        """Open a span; returns the ``(trace_id, span_id)`` reference."""
+        span_id = f"s{next(self._span_ids)}"
+        event: Dict[str, Any] = {
+            "event": "start", "trace": trace, "span": span_id,
+            "name": name, "node": node, "at": now,
+        }
+        if parent is not None:
+            event["parent"] = parent
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+        return (trace, span_id)
+
+    def end(self, ref: SpanRef, now: float, status: str = "ok",
+            **attrs: Any) -> None:
+        """Close a previously started span with a terminal status."""
+        event: Dict[str, Any] = {
+            "event": "end", "trace": ref[0], "span": ref[1],
+            "at": now, "status": status,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+
+    def point(self, name: str, node: str, now: float, trace: str,
+              parent: Optional[str] = None, **attrs: Any) -> SpanRef:
+        """Emit an instantaneous (zero-duration) span; returns its reference."""
+        span_id = f"s{next(self._span_ids)}"
+        event: Dict[str, Any] = {
+            "event": "point", "trace": trace, "span": span_id,
+            "name": name, "node": node, "at": now,
+        }
+        if parent is not None:
+            event["parent"] = parent
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+        return (trace, span_id)
+
+
+class _NullTracer:
+    """The disabled tracer: every call is a no-op, ``enabled`` is False.
+
+    Handlers guard span construction with ``if tracer.enabled:``, so with
+    this tracer the instrumented paths cost one attribute read.
+    """
+
+    enabled = False
+
+    def start(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def end(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def point(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+#: The default tracer everywhere a real one was not installed.
+NO_TRACER = _NullTracer()
+
+
+@dataclass
+class Span:
+    """One reconstructed span (see :meth:`InMemoryTraceSink.spans`)."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    node: str
+    started_at: float
+    parent_id: Optional[str] = None
+    ended_at: Optional[float] = None
+    status: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list, repr=False)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant span (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class InMemoryTraceSink(TraceSink):
+    """Collects events in memory and reconstructs span trees for tests."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Reconstruction
+    # ------------------------------------------------------------------ #
+    def spans(self, trace_id: Optional[str] = None) -> Dict[str, Span]:
+        """Reassemble events into spans, keyed by span id."""
+        spans: Dict[str, Span] = {}
+        for event in self.events:
+            if trace_id is not None and event["trace"] != trace_id:
+                continue
+            span_id = event["span"]
+            kind = event["event"]
+            if kind in ("start", "point"):
+                spans[span_id] = Span(
+                    trace_id=event["trace"],
+                    span_id=span_id,
+                    name=event["name"],
+                    node=event["node"],
+                    started_at=event["at"],
+                    parent_id=event.get("parent"),
+                    ended_at=event["at"] if kind == "point" else None,
+                    status="point" if kind == "point" else None,
+                    attrs=dict(event.get("attrs") or {}),
+                )
+            elif kind == "end" and span_id in spans:
+                span = spans[span_id]
+                span.ended_at = event["at"]
+                span.status = event["status"]
+                span.attrs.update(event.get("attrs") or {})
+        return spans
+
+    def trace_ids(self) -> List[str]:
+        """Every distinct trace id, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event["trace"], None)
+        return list(seen)
+
+    def trees(self, trace_id: str) -> List[Span]:
+        """The trace's root spans, children wired up, siblings in span order."""
+        spans = self.spans(trace_id)
+        roots: List[Span] = []
+        for span in spans.values():
+            parent = spans.get(span.parent_id) if span.parent_id else None
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                roots.append(span)
+        order = {span_id: index for index, span_id in enumerate(spans)}
+        for span in spans.values():
+            span.children.sort(key=lambda child: order[child.span_id])
+        roots.sort(key=lambda root: order[root.span_id])
+        return roots
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with the given name, across all traces."""
+        return [span for span in self.spans().values() if span.name == name]
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one JSON line per event — the CLI's ``--trace PATH`` format."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def format_span_tree(roots: List[Span], indent: str = "") -> str:
+    """Pretty-print a span tree, one line per span::
+
+        client.put key=cart [client:c1] 0.000..14.500ms ok
+        └─ coordinator.put [n1] 1.200..13.000ms ok
+           ├─ replica.put replica=n2 [n1] 1.200..7.200ms timeout
+           ├─ fallback.promotion primary=n2 fallback=n4 [n1] @7.200ms
+           ...
+    """
+    lines: List[str] = []
+    for root in roots:
+        _format_span(root, "", True, True, lines)
+    return "\n".join(lines)
+
+
+def _format_span(span: Span, prefix: str, is_last: bool, is_root: bool,
+                 lines: List[str]) -> None:
+    attrs = " ".join(f"{key}={value}" for key, value in sorted(span.attrs.items())
+                     if key != "status")
+    if span.status == "point":
+        timing = f"@{span.started_at:.3f}ms"
+    elif span.ended_at is None:
+        timing = f"{span.started_at:.3f}ms.. (open)"
+    else:
+        timing = f"{span.started_at:.3f}..{span.ended_at:.3f}ms {span.status}"
+    label = " ".join(part for part in (span.name, attrs) if part)
+    if is_root:
+        lines.append(f"{label} [{span.node}] {timing}")
+        child_prefix = ""
+    else:
+        branch = "└─ " if is_last else "├─ "
+        lines.append(f"{prefix}{branch}{label} [{span.node}] {timing}")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    for index, child in enumerate(span.children):
+        _format_span(child, child_prefix, index == len(span.children) - 1,
+                     False, lines)

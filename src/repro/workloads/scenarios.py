@@ -311,7 +311,8 @@ def run_elasticity_scenario(mechanism: CausalityMechanism,
                             keys: int = 6,
                             clients: int = 4,
                             quorum_mode: str = "sloppy",
-                            anti_entropy_strategy: str = "merkle") -> ChurnReport:
+                            anti_entropy_strategy: str = "merkle",
+                            tracer=None) -> ChurnReport:
     """Elastic cluster under load: two nodes join and one leaves mid-run.
 
     Starts a 3-node cluster with a closed-loop workload, joins ``n4`` and
@@ -334,6 +335,7 @@ def run_elasticity_scenario(mechanism: CausalityMechanism,
         anti_entropy_strategy=anti_entropy_strategy,
         hint_replay_interval_ms=40.0,
         seed=seed,
+        tracer=tracer,
     )
     report = ChurnReport(scenario="elasticity", mechanism=mechanism.name,
                          quorum_mode=quorum_mode)
@@ -369,7 +371,8 @@ def run_flappy_replica_scenario(mechanism: CausalityMechanism,
                                 flaps: int = 3,
                                 wipe_on_recover: bool = False,
                                 quorum_mode: str = "sloppy",
-                                anti_entropy_strategy: str = "merkle") -> ChurnReport:
+                                anti_entropy_strategy: str = "merkle",
+                                tracer=None) -> ChurnReport:
     """A replica repeatedly crashes and recovers while writes keep flowing.
 
     Every crash makes coordinators store hints for the victim; every recovery
@@ -391,6 +394,7 @@ def run_flappy_replica_scenario(mechanism: CausalityMechanism,
         anti_entropy_strategy=anti_entropy_strategy,
         hint_replay_interval_ms=25.0,
         seed=seed,
+        tracer=tracer,
     )
     report = ChurnReport(scenario="flappy_replica", mechanism=mechanism.name,
                          quorum_mode=quorum_mode)
@@ -424,7 +428,8 @@ def run_sloppy_partition_scenario(mechanism: CausalityMechanism,
                                   keys: int = 4,
                                   clients: int = 4,
                                   quorum_mode: str = "sloppy",
-                                  anti_entropy_strategy: str = "merkle") -> ChurnReport:
+                                  anti_entropy_strategy: str = "merkle",
+                                  tracer=None) -> ChurnReport:
     """Availability under partition with deadline-driven (async) coordination.
 
     A five-server cluster (N=3, R=W=2) runs a closed-loop workload in
@@ -456,6 +461,7 @@ def run_sloppy_partition_scenario(mechanism: CausalityMechanism,
         replica_timeout_ms=6.0,
         request_timeout_ms=30.0,
         seed=seed,
+        tracer=tracer,
     )
     report = ChurnReport(scenario="sloppy_partition", mechanism=mechanism.name,
                          quorum_mode=quorum_mode)

@@ -1,0 +1,78 @@
+"""The CLI side of observability: ``--stats-json`` and ``--trace``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def read_jsonl(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestParserAcceptsObservabilityFlags:
+    def test_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--stats-json", "s.json", "--trace", "t.jsonl"])
+        assert args.stats_json == "s.json"
+        assert args.trace == "t.jsonl"
+
+    def test_churn_flags(self):
+        args = build_parser().parse_args(
+            ["churn", "--stats-json", "s.json", "--trace", "t.jsonl"])
+        assert args.stats_json == "s.json"
+        assert args.trace == "t.jsonl"
+
+    def test_connect_trace_flag(self):
+        args = build_parser().parse_args(
+            ["connect", "--socket-dir", "/tmp/x", "--trace", "t.jsonl",
+             "get", "cart"])
+        assert args.trace == "t.jsonl"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.stats_json is None
+        assert args.trace is None
+
+
+class TestClusterStatsAndTrace:
+    def test_cluster_writes_stats_and_trace(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["cluster", "--mechanism", "dvv", "--clients", "3",
+                     "--duration-ms", "150", "--seed", "5",
+                     "--stats-json", str(stats_path),
+                     "--trace", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert str(stats_path) in output
+        assert str(trace_path) in output
+
+        stats = json.loads(stats_path.read_text())
+        assert stats["requests.completed"] > 0
+        assert "transport.bytes_delivered" in stats
+        assert list(stats) == sorted(stats)
+
+        events = read_jsonl(trace_path)
+        assert events
+        assert {event["event"] for event in events} <= {"start", "end", "point"}
+        assert any(event.get("name") == "client.put" for event in events)
+        assert any(event.get("name") == "coordinator.put" for event in events)
+
+    def test_cluster_runs_clean_without_flags(self, capsys):
+        assert main(["cluster", "--mechanism", "dvv", "--clients", "2",
+                     "--duration-ms", "100", "--seed", "5"]) == 0
+        assert "requests completed" in capsys.readouterr().out
+
+
+class TestChurnStatsAndTrace:
+    def test_churn_writes_stats_and_trace(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["churn", "--scenario", "elasticity", "--mechanism", "dvv",
+                     "--stats-json", str(stats_path),
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        stats = json.loads(stats_path.read_text())
+        assert stats["requests.completed"] > 0
+        assert read_jsonl(trace_path)

@@ -1,0 +1,83 @@
+"""Tests for the bench-trajectory dashboard renderer (``tools/``)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import render_dashboard  # noqa: E402
+
+SAMPLE = {
+    "benchmark": "sample",
+    "mechanisms": {
+        "dvv": {"encode_ns": 1200.5, "encoded_bytes": 96},
+        "dvvset": {"encode_ns": 900.0, "encoded_bytes": 80},
+    },
+}
+
+
+class TestFlatten:
+    def test_numeric_leaves_under_dotted_names(self):
+        flat = render_dashboard.flatten(SAMPLE)
+        assert flat["mechanisms.dvv.encode_ns"] == 1200.5
+        assert flat["mechanisms.dvvset.encoded_bytes"] == 80.0
+        # non-numeric leaves (the benchmark name) are dropped
+        assert "benchmark" not in flat
+
+    def test_bools_count_as_binary(self):
+        assert render_dashboard.flatten({"ok": True}) == {"ok": 1.0}
+
+
+class TestSvgPieces:
+    def test_bar_chart_renders_every_metric(self):
+        svg = render_dashboard.bar_chart({"a.x": 10.0, "a.y": 3.0})
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == 2
+        assert "a.x" in svg and "10" in svg
+
+    def test_sparkline_needs_history(self):
+        assert render_dashboard.sparkline([1.0]) == ""
+        svg = render_dashboard.sparkline([1.0, 5.0, 3.0])
+        assert "<polyline" in svg and "<circle" in svg
+
+
+class TestRenderDashboard:
+    def test_renders_all_bench_files_in_a_directory(self, tmp_path):
+        (tmp_path / "BENCH_alpha.json").write_text(json.dumps(SAMPLE))
+        (tmp_path / "BENCH_beta.json").write_text(json.dumps({"n": {"v": 2}}))
+        (tmp_path / "not_a_bench.json").write_text("{}")
+        page = render_dashboard.render_dashboard(str(tmp_path))
+        assert "<!DOCTYPE html>" in page
+        assert "BENCH_alpha.json" in page and "BENCH_beta.json" in page
+        assert "not_a_bench" not in page
+        assert "<svg" in page
+        # outside a git repo: no trajectory section, but rendering succeeds
+        assert "trajectory" not in page
+
+    def test_unreadable_file_degrades_gracefully(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        page = render_dashboard.render_dashboard(str(tmp_path))
+        assert "unreadable" in page
+
+    def test_empty_directory_explains_itself(self, tmp_path):
+        page = render_dashboard.render_dashboard(str(tmp_path))
+        assert "No BENCH_*.json files found" in page
+
+    def test_main_writes_the_page(self, tmp_path, capsys):
+        (tmp_path / "BENCH_alpha.json").write_text(json.dumps(SAMPLE))
+        out = tmp_path / "dash.html"
+        assert render_dashboard.main(["--root", str(tmp_path),
+                                      "--out", str(out)]) == 0
+        assert "<svg" in out.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_renders_from_the_checked_in_bench_files(self, tmp_path):
+        """The repo's own BENCH files must always produce a dashboard."""
+        assert render_dashboard.collect_bench_files(str(REPO_ROOT))
+        page = render_dashboard.render_dashboard(str(REPO_ROOT))
+        assert "BENCH_clock_operations.json" in page
+        assert "<svg" in page

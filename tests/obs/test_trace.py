@@ -1,0 +1,120 @@
+"""Unit tests for the tracer, sinks, and the span-tree pretty-printer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    NO_TRACER,
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    Tracer,
+    format_span_tree,
+)
+
+
+def build_sample_trace(sink):
+    """A miniature PUT lifecycle: client root, coordinator, two replicas."""
+    tracer = Tracer(sink)
+    root = tracer.start("client.put", "client:c1", 0.0, trace="c1#1", key="cart")
+    coord = tracer.start("coordinator.put", "A", 1.0, trace=root[0],
+                         parent=root[1], key="cart")
+    rep_b = tracer.start("replica.put", "A", 1.0, trace=coord[0],
+                         parent=coord[1], replica="B")
+    rep_c = tracer.start("replica.put", "A", 1.0, trace=coord[0],
+                         parent=coord[1], replica="C")
+    tracer.end(rep_c, 4.0, status="ok")
+    tracer.end(rep_b, 10.0, status="timeout")
+    tracer.point("fallback.promotion", "A", 10.0, trace=coord[0],
+                 parent=coord[1], primary="B", fallback="D")
+    tracer.end(coord, 11.0, status="ok", acks=2)
+    tracer.end(root, 12.0, status="ok")
+    return tracer
+
+
+class TestTracer:
+    def test_span_ids_are_deterministic(self):
+        sink = InMemoryTraceSink()
+        tracer = Tracer(sink)
+        first = tracer.start("a", "n", 0.0, trace="t")
+        second = tracer.start("b", "n", 0.0, trace="t")
+        assert first == ("t", "s1")
+        assert second == ("t", "s2")
+
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NO_TRACER.enabled is False
+        assert NO_TRACER.start("a", "n", 0.0, trace="t") is None
+        assert NO_TRACER.point("a", "n", 0.0, trace="t") is None
+        assert NO_TRACER.end(("t", "s1"), 1.0) is None
+
+
+class TestInMemoryTraceSink:
+    def test_tree_reconstruction(self):
+        sink = InMemoryTraceSink()
+        build_sample_trace(sink)
+        assert sink.trace_ids() == ["c1#1"]
+        roots = sink.trees("c1#1")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "client.put"
+        assert root.status == "ok"
+        assert root.duration == 12.0
+        (coord,) = root.children
+        assert coord.name == "coordinator.put"
+        assert coord.attrs["acks"] == 2  # end() attrs merged into the span
+        names = [child.name for child in coord.children]
+        assert names == ["replica.put", "replica.put", "fallback.promotion"]
+
+    def test_find_by_name_and_status(self):
+        sink = InMemoryTraceSink()
+        build_sample_trace(sink)
+        replicas = sink.find("replica.put")
+        assert {span.status for span in replicas} == {"ok", "timeout"}
+        timed_out = [span for span in replicas if span.status == "timeout"]
+        assert timed_out[0].attrs["replica"] == "B"
+        (promotion,) = sink.find("fallback.promotion")
+        assert promotion.status == "point"
+        assert promotion.duration == 0.0
+        assert promotion.attrs == {"primary": "B", "fallback": "D"}
+
+    def test_span_find_walks_the_subtree(self):
+        sink = InMemoryTraceSink()
+        build_sample_trace(sink)
+        (root,) = sink.trees("c1#1")
+        assert len(root.find("replica.put")) == 2
+        assert root.find("client.put") == [root]
+
+
+class TestJsonlTraceSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        memory = InMemoryTraceSink()
+        build_sample_trace(memory)
+        with JsonlTraceSink(path) as sink:
+            for event in memory.events:
+                sink.emit(event)
+            assert sink.events_written == len(memory.events)
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines() if line]
+        assert lines == memory.events
+        # a fresh in-memory sink replayed from disk rebuilds the same tree
+        replayed = InMemoryTraceSink()
+        for event in lines:
+            replayed.emit(event)
+        assert format_span_tree(replayed.trees("c1#1")) == \
+            format_span_tree(memory.trees("c1#1"))
+
+
+class TestFormatSpanTree:
+    def test_renders_every_span_with_timing_and_status(self):
+        sink = InMemoryTraceSink()
+        build_sample_trace(sink)
+        text = format_span_tree(sink.trees("c1#1"))
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("client.put key=cart [client:c1]")
+        assert "coordinator.put" in lines[1]
+        assert any("timeout" in line for line in lines)
+        assert any("@10.000ms" in line for line in lines)  # the point span
+        # tree drawing characters connect children to parents
+        assert any(line.lstrip().startswith(("├─", "└─")) for line in lines[1:])

@@ -35,8 +35,12 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 POST_GOLDEN_ZERO_STATS = ("rebuilds_skipped", "hint_replays_deferred")
 
 
-def run_golden_scenario(mechanism_name: str, request_mode: str):
-    """The exact scenario the golden fixture was captured from."""
+def run_golden_scenario(mechanism_name: str, request_mode: str, tracer=None):
+    """The exact scenario the golden fixture was captured from.
+
+    ``tracer`` lets the observability tests re-run the identical scenario
+    with span recording on and assert the golden numbers still hold.
+    """
     cluster = SimulatedCluster(
         create(mechanism_name),
         server_ids=("A", "B", "C", "D"),
@@ -45,6 +49,7 @@ def run_golden_scenario(mechanism_name: str, request_mode: str):
         request_mode=request_mode,
         anti_entropy_interval_ms=40.0,
         hint_replay_interval_ms=25.0,
+        tracer=tracer,
     )
     rng = random.Random(1234 + 99)
     clients = [cluster.client(f"c{index}") for index in range(3)]

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Render a static HTML dashboard from the checked-in ``BENCH_*.json`` files.
+
+Every benchmark smoke run persists its measured numbers as a ``BENCH_*.json``
+at the repository root (``bench_anti_entropy.py --smoke``,
+``bench_clock_operations.py --smoke``, ...).  This tool turns all of them into
+one self-contained HTML page — inline SVG, no external assets, no
+dependencies — with:
+
+* a bar chart per top-level section of each file (current values), and
+* a *trajectory* sparkline per metric, read from the git history of the same
+  file, so regressions and wins across the PR sequence are visible at a
+  glance.  Trajectories degrade gracefully: without git (or with a single
+  recorded version) only the current values render.
+
+Usage::
+
+    python tools/render_dashboard.py                 # writes dashboard.html
+    python tools/render_dashboard.py --root . --out site/dashboard.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import html
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+MAX_HISTORY = 40  # trajectory points per file (newest last)
+
+
+# --------------------------------------------------------------------------- #
+# Data collection
+# --------------------------------------------------------------------------- #
+def collect_bench_files(root: str) -> List[str]:
+    """The repository's ``BENCH_*.json`` files, sorted by name."""
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+
+
+def flatten(value: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict under dotted names (bools count as 0/1)."""
+    out: Dict[str, float] = {}
+    if isinstance(value, dict):
+        for key in value:
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value[key], child_prefix))
+    elif isinstance(value, bool):
+        out[prefix] = 1.0 if value else 0.0
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    return out
+
+
+def git_trajectory(path: str, root: str,
+                   limit: int = MAX_HISTORY) -> List[Tuple[str, Dict[str, float]]]:
+    """``(short_sha, flat_metrics)`` for each recorded version, oldest first.
+
+    Includes the working-tree version last when it differs from HEAD.  Any
+    git failure (not a repo, file untracked) yields an empty history.
+    """
+    rel = os.path.relpath(path, root)
+    try:
+        revs = subprocess.run(
+            ["git", "log", "--format=%h", "-n", str(limit), "--", rel],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout.split()
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    points: List[Tuple[str, Dict[str, float]]] = []
+    for sha in reversed(revs):
+        try:
+            blob = subprocess.run(
+                ["git", "show", f"{sha}:{rel}"],
+                cwd=root, capture_output=True, text=True, check=True,
+            ).stdout
+            points.append((sha, flatten(json.loads(blob))))
+        except (OSError, subprocess.CalledProcessError, ValueError):
+            continue
+    try:
+        with open(path) as fh:
+            current = flatten(json.load(fh))
+        if not points or points[-1][1] != current:
+            points.append(("worktree", current))
+    except (OSError, ValueError):
+        pass
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# SVG rendering (no dependencies)
+# --------------------------------------------------------------------------- #
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def bar_chart(metrics: Dict[str, float], width: int = 640) -> str:
+    """A horizontal bar chart of one section's metrics."""
+    if not metrics:
+        return ""
+    bar_h, gap, label_w = 18, 6, 260
+    peak = max(abs(v) for v in metrics.values()) or 1.0
+    height = len(metrics) * (bar_h + gap) + gap
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">']
+    y = gap
+    for name, value in metrics.items():
+        length = max(2.0, (abs(value) / peak) * (width - label_w - 110))
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_h - 5}" text-anchor="end" '
+            f'class="lbl">{html.escape(name)}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{length:.1f}" '
+            f'height="{bar_h}" class="bar"/>'
+            f'<text x="{label_w + length + 6:.1f}" y="{y + bar_h - 5}" '
+            f'class="val">{_fmt(value)}</text>'
+        )
+        y += bar_h + gap
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def sparkline(series: List[float], width: int = 180, height: int = 36) -> str:
+    """A tiny polyline of one metric's recorded history."""
+    if len(series) < 2:
+        return ""
+    low, high = min(series), max(series)
+    span = (high - low) or 1.0
+    step = (width - 8) / (len(series) - 1)
+    coords = []
+    for index, value in enumerate(series):
+        x = 4 + index * step
+        y = height - 6 - ((value - low) / span) * (height - 12)
+        coords.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = coords[-1].split(",")
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" class="spark" role="img">'
+        f'<polyline points="{" ".join(coords)}" fill="none" class="line"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" class="dot"/></svg>'
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Page assembly
+# --------------------------------------------------------------------------- #
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 980px;
+       color: #1a1a2e; background: #fafafa; padding: 0 1rem; }
+h1 { font-size: 1.5rem; } h2 { margin-top: 2.2rem; border-bottom: 2px solid #ddd;
+     padding-bottom: .3rem; } h3 { margin-bottom: .4rem; color: #444; }
+.lbl { font: 11px monospace; fill: #333; } .val { font: 11px monospace; fill: #555; }
+.bar { fill: #4c72b0; } .spark .line { stroke: #4c72b0; stroke-width: 1.5; }
+.spark .dot { fill: #dd8452; }
+table.traj { border-collapse: collapse; margin: .6rem 0 1rem; }
+table.traj td, table.traj th { padding: 2px 12px 2px 0; text-align: left;
+  font: 12px monospace; border-bottom: 1px solid #eee; }
+.muted { color: #888; font-size: .85rem; }
+"""
+
+
+def _group_by_section(flat: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    sections: Dict[str, Dict[str, float]] = {}
+    for name, value in flat.items():
+        section, _, rest = name.partition(".")
+        sections.setdefault(section, {})[rest or section] = value
+    return sections
+
+
+def render_file_section(path: str, root: str) -> str:
+    title = os.path.basename(path)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as error:
+        return f"<h2>{html.escape(title)}</h2><p class='muted'>unreadable: " \
+               f"{html.escape(str(error))}</p>"
+    flat = flatten(data)
+    pieces = [f"<h2>{html.escape(title)}</h2>"]
+    for section, metrics in _group_by_section(flat).items():
+        pieces.append(f"<h3>{html.escape(section)}</h3>")
+        pieces.append(bar_chart(metrics))
+
+    history = git_trajectory(path, root)
+    if len(history) >= 2:
+        pieces.append(f"<h3>trajectory ({len(history)} recorded versions)</h3>")
+        pieces.append("<table class='traj'><tr><th>metric</th><th>history</th>"
+                      "<th>first</th><th>latest</th></tr>")
+        for name in sorted(flat):
+            series = [point[1][name] for point in history if name in point[1]]
+            if len(series) < 2:
+                continue
+            pieces.append(
+                f"<tr><td>{html.escape(name)}</td><td>{sparkline(series)}</td>"
+                f"<td>{_fmt(series[0])}</td><td>{_fmt(series[-1])}</td></tr>")
+        pieces.append("</table>")
+        shas = " → ".join(sha for sha, _ in history)
+        pieces.append(f"<p class='muted'>versions: {html.escape(shas)}</p>")
+    return "\n".join(pieces)
+
+
+def render_dashboard(root: str) -> str:
+    """The full dashboard page for every BENCH_*.json under ``root``."""
+    files = collect_bench_files(root)
+    body = [f"<h1>Benchmark dashboard</h1>",
+            f"<p class='muted'>{len(files)} benchmark file(s) under "
+            f"{html.escape(os.path.abspath(root))}</p>"]
+    if not files:
+        body.append("<p>No BENCH_*.json files found. Run a benchmark smoke "
+                    "first, e.g. <code>python benchmarks/bench_anti_entropy.py "
+                    "--smoke</code>.</p>")
+    for path in files:
+        body.append(render_file_section(path, root))
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>Benchmark dashboard</title>"
+            f"<style>{_STYLE}</style></head><body>"
+            + "\n".join(body) + "</body></html>\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--out", default=None,
+                        help="output HTML path (default: <root>/dashboard.html)")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(args.root, "dashboard.html")
+    page = render_dashboard(args.root)
+    with open(out, "w") as fh:
+        fh.write(page)
+    print(f"wrote {out} ({len(collect_bench_files(args.root))} benchmark files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
