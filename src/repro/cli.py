@@ -220,6 +220,23 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0 if report.converged else 1
 
 
+def _run_cluster_audit(cluster, sample_size: int, seed: int):
+    """Audit every node's Merkle index against its storage after a run.
+
+    Returns ``(keys_checked, mismatches)`` summed over the nodes; each node
+    gets its own deterministically seeded sampler so runs are repeatable.
+    """
+    import random
+
+    checked = mismatches = 0
+    for position, (node_id, server) in enumerate(sorted(cluster.servers.items())):
+        rng = random.Random(seed * 1000 + position)
+        report = server.node.audit_merkle_index(sample_size=sample_size, rng=rng)
+        checked += report["keys_checked"]
+        mismatches += report["mismatches"]
+    return checked, mismatches
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     """Run the message-passing cluster under a closed-loop workload.
 
@@ -257,6 +274,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     records = cluster.all_request_records()
     latency = analyze_requests(args.mechanism, records, duration_ms=args.duration_ms)
     metadata = measure_simulated_cluster(cluster)
+    audit_rows = []
+    if args.audit:
+        checked, mismatches = _run_cluster_audit(cluster, args.audit, args.seed)
+        audit_rows = [["audit keys checked", checked],
+                      ["audit mismatches", mismatches]]
     stats = cluster.stat_totals()
     print(render_table(
         ["metric", "value"],
@@ -284,7 +306,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ["vnode partitions", args.partitions],
             ["partitions compared", cluster.merkle_stats.partitions_compared],
             ["partitions differing", cluster.merkle_stats.partitions_differing],
-        ],
+        ] + audit_rows,
         title="Simulated cluster run",
     ))
     _write_stats_json(cluster, args.stats_json)
@@ -339,6 +361,12 @@ def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
             records = cluster.all_request_records()
             latency = analyze_requests(args.mechanism, records,
                                        duration_ms=elapsed_s * 1000.0)
+            audit_rows = []
+            if args.audit:
+                checked, mismatches = _run_cluster_audit(
+                    cluster, args.audit, args.seed)
+                audit_rows = [["audit keys checked", checked],
+                              ["audit mismatches", mismatches]]
             stats = cluster.stat_totals()
             wire_bytes = sum(server.endpoint.stats.bytes_sent
                              for server in cluster.servers.values())
@@ -358,7 +386,7 @@ def _cmd_cluster_asyncio(args: argparse.Namespace) -> int:
                     ["bytes on the wire", wire_bytes],
                     ["merkle keys hashed", stats.get("keys_hashed", 0)],
                     ["converged", "yes"],
-                ],
+                ] + audit_rows,
                 title="Asyncio cluster run",
             ))
         # The shutdown-captured snapshot includes the daemons' final work.
@@ -602,6 +630,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--write-fraction", type=float, default=0.6, dest="write_fraction")
     cluster.add_argument("--bytes-per-ms", type=float, default=600.0, dest="bytes_per_ms")
     cluster.add_argument("--seed", type=int, default=2012)
+    cluster.add_argument("--audit", type=int, default=0, metavar="SAMPLE",
+                         help="after the workload, cold-verify up to SAMPLE "
+                              "stored keys per node against the maintained "
+                              "Merkle index and report mismatches")
     cluster.add_argument("--stats-json", default=None, dest="stats_json", metavar="PATH",
                          help="write the cluster's unified metrics snapshot as JSON "
                               "(same schema for both backends)")

@@ -32,7 +32,7 @@ class VersionVectorWithExceptions:
     The denoted history is ``{(a, n) | 1 <= n <= base[a]} \\ exceptions``.
     """
 
-    __slots__ = ("_base", "_exceptions")
+    __slots__ = ("_base", "_exceptions", "_encoded", "_fingerprint")
 
     def __init__(self,
                  base: Optional[Mapping[Actor, int]] = None,
@@ -46,8 +46,20 @@ class VersionVectorWithExceptions:
                 raise InvalidClockError(
                     f"exception {exc} lies above the base counter {base_vv.get(exc.actor)}"
                 )
-        self._base = base_vv
-        self._exceptions = exception_set
+        object.__setattr__(self, "_base", base_vv)
+        object.__setattr__(self, "_exceptions", exception_set)
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"VersionVectorWithExceptions is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"VersionVectorWithExceptions is immutable; cannot delete {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -203,11 +215,23 @@ class DottedVVE:
     rather than being bounded by the number of replicas.
     """
 
-    __slots__ = ("_dot", "_past")
+    __slots__ = ("_dot", "_past", "_encoded", "_fingerprint")
 
     def __init__(self, dot: Dot, past: VersionVectorWithExceptions) -> None:
-        self._dot = dot
-        self._past = past
+        object.__setattr__(self, "_dot", dot)
+        object.__setattr__(self, "_past", past)
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"DottedVVE is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"DottedVVE is immutable; cannot delete {name!r}"
+        )
 
     @property
     def dot(self) -> Dot:
@@ -255,3 +279,36 @@ class DottedVVE:
 
     def __repr__(self) -> str:
         return f"DottedVVE(dot={self._dot!r}, past={self._past!r})"
+
+
+# ---------------------------------------------------------------------- #
+# Canonical-bytes registration
+# ---------------------------------------------------------------------- #
+# The WinFS baselines live outside repro.core, so they opt in to the
+# canonical-bytes layer here (codec cannot import this module — it would be a
+# cycle).  The byte layouts deliberately match the wire codec's "E" and "X"
+# tags so network frames can embed the cached encodings verbatim.
+def _encode_vve(clock: VersionVectorWithExceptions) -> bytes:
+    out = bytearray(b"E")
+    out += codec._encode_vv_body(clock.base)
+    exceptions = sorted(clock.exceptions)
+    out += codec._encode_varint(len(exceptions))
+    for dot in exceptions:
+        out += codec._encode_str(dot.actor)
+        out += codec._encode_varint(dot.counter)
+    return bytes(out)
+
+
+def _encode_dotted_vve(clock: DottedVVE) -> bytes:
+    return (
+        b"X"
+        + codec._encode_str(clock.dot.actor)
+        + codec._encode_varint(clock.dot.counter)
+        + codec.canonical_bytes(clock.causal_past)
+    )
+
+
+from ..core import codec  # noqa: E402  (bottom import breaks the cycle)
+
+codec.register_encoder(VersionVectorWithExceptions, _encode_vve)
+codec.register_encoder(DottedVVE, _encode_dotted_vve)

@@ -38,7 +38,7 @@ class CausalHistory:
     :meth:`events` returns and what comparisons operate on.
     """
 
-    __slots__ = ("_event", "_past")
+    __slots__ = ("_event", "_past", "_encoded", "_fingerprint")
 
     def __init__(self, event: Optional[Dot] = None, past: Iterable[Dot] = ()) -> None:
         past_set = frozenset(past)
@@ -47,8 +47,22 @@ class CausalHistory:
                 raise InvalidClockError(f"causal history entries must be Dots, got {entry!r}")
         if event is not None and not isinstance(event, Dot):
             raise InvalidClockError(f"causal history event must be a Dot, got {event!r}")
-        self._event = event
-        self._past = past_set - ({event} if event is not None else frozenset())
+        object.__setattr__(self, "_event", event)
+        object.__setattr__(
+            self, "_past", past_set - ({event} if event is not None else frozenset())
+        )
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"CausalHistory is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"CausalHistory is immutable; cannot delete {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors

@@ -54,7 +54,7 @@ class DottedVersionVector:
     represent versions written concurrently through the same server.
     """
 
-    __slots__ = ("_dot", "_vv")
+    __slots__ = ("_dot", "_vv", "_encoded", "_fingerprint")
 
     def __init__(self, dot: Dot, causal_past: Optional[VersionVector] = None) -> None:
         if not isinstance(dot, Dot):
@@ -66,8 +66,20 @@ class DottedVersionVector:
             raise InvalidClockError(
                 f"dot {dot} must not already be contained in its own causal past {vv}"
             )
-        self._dot = dot
-        self._vv = vv
+        object.__setattr__(self, "_dot", dot)
+        object.__setattr__(self, "_vv", vv)
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"DottedVersionVector is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"DottedVersionVector is immutable; cannot delete {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -50,7 +50,7 @@ Entry = Tuple[Actor, int, Tuple[V, ...]]
 class DVVSet(Generic[V]):
     """A dotted version vector set holding sibling values and their causality."""
 
-    __slots__ = ("_entries", "_anonymous")
+    __slots__ = ("_entries", "_anonymous", "_encoded", "_fingerprint")
 
     def __init__(self,
                  entries: Iterable[Entry] = (),
@@ -72,8 +72,20 @@ class DVVSet(Generic[V]):
             seen.add(actor)
             normalised.append((actor, counter, values))
         normalised.sort(key=lambda e: e[0])
-        self._entries: Tuple[Entry, ...] = tuple(normalised)
-        self._anonymous: Tuple[V, ...] = tuple(anonymous)
+        object.__setattr__(self, "_entries", tuple(normalised))
+        object.__setattr__(self, "_anonymous", tuple(anonymous))
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"DVVSet is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"DVVSet is immutable; cannot delete {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors

@@ -11,15 +11,31 @@ every stored value.  This module provides:
 * a JSON-compatible encoding for human inspection and for the examples;
 * :func:`encoded_size` / :func:`entry_count`, the two measurements the
   metadata-size experiments (E2/E4 in DESIGN.md) report.
+
+The binary encoding itself lives in :mod:`repro.core.codec`, the canonical-
+bytes layer: clocks are immutable, so the encoding is computed once per
+instance and memoized, and :func:`encode` / :func:`encoded_size` here are
+cache reads after the first call.  The byte format is unchanged — the low-
+level helpers (``_encode_varint`` & co.) are re-exported so existing
+importers (the wire codec, tests) keep working.
 """
 
 from __future__ import annotations
 
-import json
-import struct
 from typing import Any, Dict, List, Tuple, Union
 
+from . import codec
 from .causal_history import CausalHistory
+from .codec import (  # noqa: F401  (re-exported; the wire codec imports these)
+    _decode_actor,
+    _decode_str,
+    _decode_varint,
+    _decode_vv_body,
+    _encode_str,
+    _encode_varint,
+    _encode_vv_body,
+    _value_to_str,
+)
 from .dot import Dot
 from .dvv import DottedVersionVector
 from .dvvset import DVVSet
@@ -37,101 +53,15 @@ _TYPE_TAGS = {
 
 
 # ---------------------------------------------------------------------- #
-# Varint helpers (LEB128, unsigned)
-# ---------------------------------------------------------------------- #
-def _encode_varint(value: int) -> bytes:
-    if value < 0:
-        raise SerializationError(f"cannot encode negative integer {value}")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
-
-
-def _decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(data):
-            raise SerializationError("truncated varint")
-        byte = data[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
-
-
-def _encode_str(value: str) -> bytes:
-    raw = value.encode("utf-8")
-    return _encode_varint(len(raw)) + raw
-
-
-def _decode_str(data: bytes, offset: int) -> Tuple[str, int]:
-    length, offset = _decode_varint(data, offset)
-    if offset + length > len(data):
-        raise SerializationError("truncated string")
-    return data[offset:offset + length].decode("utf-8"), offset + length
-
-
-# ---------------------------------------------------------------------- #
 # Binary encoding
 # ---------------------------------------------------------------------- #
-def _encode_vv_body(vv: VersionVector) -> bytes:
-    out = bytearray(_encode_varint(len(vv)))
-    for actor, counter in vv.items():
-        out += _encode_str(actor)
-        out += _encode_varint(counter)
-    return bytes(out)
-
-
-def _decode_vv_body(data: bytes, offset: int) -> Tuple[VersionVector, int]:
-    count, offset = _decode_varint(data, offset)
-    entries: Dict[str, int] = {}
-    for _ in range(count):
-        actor, offset = _decode_str(data, offset)
-        counter, offset = _decode_varint(data, offset)
-        entries[actor] = counter
-    return VersionVector(entries), offset
-
-
 def encode(clock: Clock) -> bytes:
-    """Encode any clock type into a compact, self-describing byte string."""
-    if isinstance(clock, VersionVector):
-        return b"V" + _encode_vv_body(clock)
-    if isinstance(clock, DottedVersionVector):
-        body = _encode_str(clock.dot.actor) + _encode_varint(clock.dot.counter)
-        return b"D" + body + _encode_vv_body(clock.causal_past)
-    if isinstance(clock, CausalHistory):
-        dots = sorted(clock.events())
-        out = bytearray(b"H")
-        event = clock.event
-        out += _encode_varint(1 if event is not None else 0)
-        if event is not None:
-            out += _encode_str(event.actor) + _encode_varint(event.counter)
-        out += _encode_varint(len(dots))
-        for dot in dots:
-            out += _encode_str(dot.actor) + _encode_varint(dot.counter)
-        return bytes(out)
-    if isinstance(clock, DVVSet):
-        out = bytearray(b"S")
-        out += _encode_varint(len(clock.entries))
-        for actor, counter, values in clock.entries:
-            out += _encode_str(actor)
-            out += _encode_varint(counter)
-            out += _encode_varint(len(values))
-            for value in values:
-                out += _encode_str(_value_to_str(value))
-        out += _encode_varint(len(clock.anonymous))
-        for value in clock.anonymous:
-            out += _encode_str(_value_to_str(value))
-        return bytes(out)
-    raise SerializationError(f"cannot encode object of type {type(clock).__name__}")
+    """Encode any clock type into a compact, self-describing byte string.
+
+    Delegates to the canonical-bytes layer: the first call on an instance
+    walks the structure, every later call returns the memoized bytes.
+    """
+    return codec.canonical_bytes(clock)
 
 
 def decode(data: bytes) -> Clock:
@@ -144,7 +74,7 @@ def decode(data: bytes) -> Clock:
         _check_consumed(data, offset)
         return vv
     if tag == b"D":
-        actor, offset = _decode_str(data, offset)
+        actor, offset = _decode_actor(data, offset)
         counter, offset = _decode_varint(data, offset)
         vv, offset = _decode_vv_body(data, offset)
         _check_consumed(data, offset)
@@ -153,13 +83,13 @@ def decode(data: bytes) -> Clock:
         has_event, offset = _decode_varint(data, offset)
         event = None
         if has_event:
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             event = Dot(actor, counter)
         count, offset = _decode_varint(data, offset)
         dots: List[Dot] = []
         for _ in range(count):
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             dots.append(Dot(actor, counter))
         _check_consumed(data, offset)
@@ -168,7 +98,7 @@ def decode(data: bytes) -> Clock:
         entry_count_, offset = _decode_varint(data, offset)
         entries = []
         for _ in range(entry_count_):
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             value_count, offset = _decode_varint(data, offset)
             values = []
@@ -189,12 +119,6 @@ def decode(data: bytes) -> Clock:
 def _check_consumed(data: bytes, offset: int) -> None:
     if offset != len(data):
         raise SerializationError(f"trailing bytes after decoding ({len(data) - offset} left)")
-
-
-def _value_to_str(value: Any) -> str:
-    if isinstance(value, str):
-        return value
-    return json.dumps(value, sort_keys=True, default=str)
 
 
 # ---------------------------------------------------------------------- #
@@ -246,8 +170,13 @@ def from_json(payload: Dict[str, Any]) -> Clock:
 # Size accounting — what the metadata experiments measure
 # ---------------------------------------------------------------------- #
 def encoded_size(clock: Clock) -> int:
-    """Number of bytes of the compact binary encoding of ``clock``."""
-    return len(encode(clock))
+    """Number of bytes of the compact binary encoding of ``clock``.
+
+    A cache read after the instance has been encoded once (metadata-size
+    accounting in the mechanisms calls this per request on the same stored
+    clocks, so the memo carries the whole measurement path).
+    """
+    return len(codec.canonical_bytes(clock))
 
 
 def entry_count(clock: Clock) -> int:

@@ -32,7 +32,7 @@ class VersionVector:
     over different actor sets compare correctly without padding.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_encoded", "_fingerprint")
 
     def __init__(self, entries: Optional[Mapping[Actor, int]] = None) -> None:
         clean: Dict[Actor, int] = {}
@@ -46,7 +46,19 @@ class VersionVector:
                     )
                 if counter > 0:
                     clean[actor] = counter
-        self._entries = clean
+        object.__setattr__(self, "_entries", clean)
+        object.__setattr__(self, "_encoded", None)
+        object.__setattr__(self, "_fingerprint", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"VersionVector is immutable; cannot set {name!r}"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"VersionVector is immutable; cannot delete {name!r}"
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors

@@ -28,6 +28,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core import codec
 from ..core.exceptions import ConfigurationError
 from .server import StorageNode
 from .sync_store import SyncReplicatedStore
@@ -45,13 +46,19 @@ def state_fingerprint(mechanism, state) -> bytes:
     regardless of which causality mechanism produced them.  This is the unit
     of work the incremental index (:mod:`repro.kvstore.merkle_index`) pays
     once per mutation instead of once per key per tree rebuild.
+
+    The digest is memoized per sorted dot tuple (in :mod:`repro.core.codec`),
+    so a merge, handoff or replayed hint that reproduces an already-seen
+    sibling set hashes nothing.
     """
-    siblings = mechanism.siblings(state)
-    material = ";".join(
-        f"{sibling.origin_dot.actor}:{sibling.origin_dot.counter}"
-        for sibling in sorted(siblings, key=lambda s: s.origin_dot)
-    )
-    return _hash_bytes(material.encode("utf-8"))
+    dots = tuple(sorted(s.origin_dot for s in mechanism.siblings(state)))
+    return codec.sibling_set_fingerprint(dots)
+
+
+def state_fingerprint_cold(mechanism, state) -> bytes:
+    """Uncached recompute of :func:`state_fingerprint` (audits and tests)."""
+    dots = tuple(sorted(s.origin_dot for s in mechanism.siblings(state)))
+    return _hash_bytes(codec.sibling_set_material(dots))
 
 
 def key_fingerprint(node: StorageNode, key: str) -> bytes:

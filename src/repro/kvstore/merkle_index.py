@@ -53,14 +53,46 @@ O(divergent buckets), and handoff tree work dropping to O(1).
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..clocks.interface import CausalityMechanism
 from ..cluster.ring import PartitionMap
 from ..core.exceptions import ConfigurationError
-from .merkle import MerkleNode, MerkleTree, _hash_bytes, bucket_path, state_fingerprint
+from .merkle import (
+    MerkleNode,
+    MerkleTree,
+    _hash_bytes,
+    bucket_path,
+    state_fingerprint,
+    state_fingerprint_cold,
+)
 from .server import INDEX_COUNTERS
 from .storage import NodeStorage
+
+
+def _run_audit(index, storage: NodeStorage, sample_size: int,
+               rng: Optional[random.Random]) -> Dict[str, int]:
+    """Shared audit walk for :class:`MerkleIndex` and :class:`VnodeIndexSet`.
+
+    Samples up to ``sample_size`` live keys from ``storage``, recomputes each
+    key's fingerprint cold (bypassing every cache), and compares it to the
+    digest the index maintains — the bit-rot check for the write-maintained
+    tree: a mismatch means the index drifted from what is actually stored.
+    """
+    rng = rng if rng is not None else random.Random()
+    index.flush()
+    keys = storage.keys()
+    if sample_size < len(keys):
+        keys = rng.sample(keys, sample_size)
+    mismatches = 0
+    for key in keys:
+        expected = state_fingerprint_cold(index.mechanism, storage.get_state(key))
+        if index.fingerprint(key) != expected:
+            mismatches += 1
+    index.counters["audit_keys_checked"] += len(keys)
+    index.counters["audit_mismatches"] += mismatches
+    return {"keys_checked": len(keys), "mismatches": mismatches}
 
 
 def _empty_digests(fanout: int, depth: int) -> List[bytes]:
@@ -297,6 +329,18 @@ class MerkleIndex:
         self._digests.clear()
         self._dirty.clear()
 
+    def audit(self, storage: NodeStorage, sample_size: int = 64,
+              rng: Optional[random.Random] = None) -> Dict[str, int]:
+        """Cold-verify a random sample of stored keys against the index.
+
+        Returns ``{"keys_checked", "mismatches"}`` and accumulates both into
+        the ``audit_keys_checked`` / ``audit_mismatches`` counters.  A nonzero
+        mismatch count means the maintained tree no longer reflects storage
+        (a missed mutation event, or bit-rot in a cached digest) and the
+        range should be rebuilt.
+        """
+        return _run_audit(self, storage, sample_size, rng)
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"MerkleIndex(keys={len(self._fingerprints)}, "
@@ -465,6 +509,17 @@ class VnodeIndexSet:
         """Empty every range's tree (the whole disk was wiped)."""
         for index in self.indexes.values():
             index.reset()
+
+    def audit(self, storage: NodeStorage, sample_size: int = 64,
+              rng: Optional[random.Random] = None) -> Dict[str, int]:
+        """Cold-verify sampled keys against whichever range's tree holds them.
+
+        Same contract as :meth:`MerkleIndex.audit`; each sampled key is
+        checked against its own partition's maintained fingerprint (via
+        :meth:`fingerprint`'s routing), so drift localised to one vnode's
+        tree is still caught.
+        """
+        return _run_audit(self, storage, sample_size, rng)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         live = sum(1 for index in self.indexes.values() if index.key_count)

@@ -34,7 +34,8 @@ MERGE_COUNTERS = {
 #: The :class:`~repro.kvstore.merkle_index.MerkleIndex` increments them.
 INDEX_COUNTERS = ("keys_hashed", "buckets_rehashed", "full_rebuilds",
                   "snapshot_digests", "fingerprints_imported",
-                  "rebuilds_skipped")
+                  "rebuilds_skipped", "audit_keys_checked",
+                  "audit_mismatches")
 
 
 class StorageNode:
@@ -206,6 +207,18 @@ class StorageNode:
             self.stats["rebuilds_skipped"] += occupied
             return
         self.merkle_index.rebuild(self.storage)
+
+    def audit_merkle_index(self, sample_size: int = 64, rng=None) -> dict:
+        """Cold-verify a sample of stored keys against the attached index.
+
+        Returns ``{"keys_checked": 0, "mismatches": 0}`` when no index is
+        attached (nothing to drift).  See
+        :meth:`repro.kvstore.merkle_index.MerkleIndex.audit`.
+        """
+        if self.merkle_index is None:
+            return {"keys_checked": 0, "mismatches": 0}
+        return self.merkle_index.audit(self.storage, sample_size=sample_size,
+                                       rng=rng)
 
     def ingest_handoff(self, key: str, state: Any, fingerprint: Optional[bytes] = None) -> Any:
         """Absorb one key of a vnode handoff, reusing the sender's digest.

@@ -34,12 +34,14 @@ import struct
 from typing import Any, Dict, Tuple
 
 from ..clocks.interface import Sibling
+from ..core import codec
 from ..core.causal_history import CausalHistory
 from ..core.dot import Dot
 from ..core.dvv import DottedVersionVector
 from ..core.dvvset import DVVSet
 from ..core.exceptions import SerializationError
 from ..core.serialization import (
+    _decode_actor,
     _decode_str,
     _decode_varint,
     _decode_vv_body,
@@ -120,38 +122,20 @@ def _encode_value(value: Any, out: bytearray) -> None:
         out += _encode_str(value.actor)
         out += _encode_varint(value.counter)
     elif isinstance(value, VersionVector):
-        out += b"V"
-        out += _encode_vv_body(value)
+        # Canonical tag "V" matches the wire tag: embed the cached bytes.
+        out += codec.canonical_bytes(value)
     elif isinstance(value, DottedVersionVector):
+        # Canonical tag is "D" (the wire reserves "D" for Dot): retag to "W",
+        # the body layouts are identical.
         out += b"W"
-        out += _encode_str(value.dot.actor)
-        out += _encode_varint(value.dot.counter)
-        out += _encode_vv_body(value.causal_past)
+        out += codec.canonical_bytes(value)[1:]
     elif isinstance(value, VersionVectorWithExceptions):
-        out += b"E"
-        out += _encode_vv_body(value.base)
-        exceptions = sorted(value.exceptions)
-        out += _encode_varint(len(exceptions))
-        for dot in exceptions:
-            out += _encode_str(dot.actor)
-            out += _encode_varint(dot.counter)
+        # Canonical "E" encoding (registered by repro.clocks.vve) matches.
+        out += codec.canonical_bytes(value)
     elif isinstance(value, DottedVVE):
-        out += b"X"
-        out += _encode_str(value.dot.actor)
-        out += _encode_varint(value.dot.counter)
-        _encode_value(value.causal_past, out)
+        out += codec.canonical_bytes(value)
     elif isinstance(value, CausalHistory):
-        out += b"H"
-        event = value.event
-        out += _encode_varint(1 if event is not None else 0)
-        if event is not None:
-            out += _encode_str(event.actor)
-            out += _encode_varint(event.counter)
-        events = sorted(value.events())
-        out += _encode_varint(len(events))
-        for dot in events:
-            out += _encode_str(dot.actor)
-            out += _encode_varint(dot.counter)
+        out += codec.canonical_bytes(value)
     elif isinstance(value, DVVSet):
         # Unlike repro.core.serialization (which stringifies DVVSet values
         # for size accounting), the wire codec recurses into them: in the
@@ -168,13 +152,23 @@ def _encode_value(value: Any, out: bytearray) -> None:
         for item in value.anonymous:
             _encode_value(item, out)
     elif isinstance(value, Sibling):
-        out += b"G"
-        _encode_value(value.value, out)
-        out += _encode_str(value.origin_dot.actor)
-        out += _encode_varint(value.origin_dot.counter)
-        _encode_value(value.history, out)
-        _encode_value(value.writer, out)
-        out += _encode_varint(value.uid)
+        # Siblings are frozen dataclasses; when the payload value is itself
+        # immutable the whole G-record is a pure function of the instance, so
+        # memoize it (a sibling is re-sent on every replicate/handoff/repair).
+        cached = getattr(value, "_wire_encoded", None)
+        if cached is not None:
+            out += cached
+            return
+        record = bytearray(b"G")
+        _encode_value(value.value, record)
+        record += _encode_str(value.origin_dot.actor)
+        record += _encode_varint(value.origin_dot.counter)
+        _encode_value(value.history, record)
+        _encode_value(value.writer, record)
+        record += _encode_varint(value.uid)
+        if isinstance(value.value, (str, int, float, bool, bytes, type(None))):
+            object.__setattr__(value, "_wire_encoded", bytes(record))
+        out += record
     elif isinstance(value, CausalContext):
         out += b"C"
         out += _encode_str(value.key)
@@ -232,13 +226,13 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
             entries[key] = item
         return entries, offset
     if tag == b"D":
-        actor, offset = _decode_str(data, offset)
+        actor, offset = _decode_actor(data, offset)
         counter, offset = _decode_varint(data, offset)
         return Dot(actor, counter), offset
     if tag == b"V":
         return _decode_vv_body(data, offset)
     if tag == b"W":
-        actor, offset = _decode_str(data, offset)
+        actor, offset = _decode_actor(data, offset)
         counter, offset = _decode_varint(data, offset)
         past, offset = _decode_vv_body(data, offset)
         return DottedVersionVector(Dot(actor, counter), past), offset
@@ -247,12 +241,12 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         count, offset = _decode_varint(data, offset)
         exceptions = []
         for _ in range(count):
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             exceptions.append(Dot(actor, counter))
         return VersionVectorWithExceptions(base.entries(), exceptions), offset
     if tag == b"X":
-        actor, offset = _decode_str(data, offset)
+        actor, offset = _decode_actor(data, offset)
         counter, offset = _decode_varint(data, offset)
         past, offset = _decode_value(data, offset)
         if not isinstance(past, VersionVectorWithExceptions):
@@ -262,13 +256,13 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         has_event, offset = _decode_varint(data, offset)
         event = None
         if has_event:
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             event = Dot(actor, counter)
         count, offset = _decode_varint(data, offset)
         dots = []
         for _ in range(count):
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             dots.append(Dot(actor, counter))
         return CausalHistory.from_events(dots, event), offset
@@ -276,7 +270,7 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         entry_count, offset = _decode_varint(data, offset)
         entries = []
         for _ in range(entry_count):
-            actor, offset = _decode_str(data, offset)
+            actor, offset = _decode_actor(data, offset)
             counter, offset = _decode_varint(data, offset)
             value_count, offset = _decode_varint(data, offset)
             values = []
@@ -292,7 +286,7 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         return DVVSet(entries, anonymous), offset
     if tag == b"G":
         value, offset = _decode_value(data, offset)
-        actor, offset = _decode_str(data, offset)
+        actor, offset = _decode_actor(data, offset)
         counter, offset = _decode_varint(data, offset)
         history, offset = _decode_value(data, offset)
         writer, offset = _decode_value(data, offset)

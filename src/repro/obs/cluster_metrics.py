@@ -40,7 +40,7 @@ def build_cluster_registry(cluster: Any) -> MetricsRegistry:
     """Wire every stats object of a (sim or asyncio) cluster into a registry."""
     registry = MetricsRegistry()
     registry.register_source("storage", cluster.stat_totals)
-    registry.register_source("merkle", lambda: _dataclass_dict(cluster.merkle_stats))
+    registry.register_source("merkle", lambda: _merkle_totals(cluster))
     registry.register_source("read_repair", lambda: _read_repair_totals(cluster))
     registry.register_source("transport", lambda: _transport_totals(cluster))
     registry.register_source("requests", lambda: _request_totals(cluster))
@@ -50,6 +50,19 @@ def build_cluster_registry(cluster: Any) -> MetricsRegistry:
 
 def _dataclass_dict(stats: Any) -> Dict[str, Any]:
     return {f.name: getattr(stats, f.name) for f in dataclasses.fields(stats)}
+
+
+def _merkle_totals(cluster: Any) -> Dict[str, Any]:
+    totals = _dataclass_dict(cluster.merkle_stats)
+    # Index-drift audits are per-node counters, not part of the exchange
+    # stats dataclass; surface the cluster-wide sums alongside it.
+    totals["audit_keys_checked"] = sum(
+        server.node.stats.get("audit_keys_checked", 0)
+        for server in cluster.servers.values())
+    totals["audit_mismatches"] = sum(
+        server.node.stats.get("audit_mismatches", 0)
+        for server in cluster.servers.values())
+    return totals
 
 
 def _read_repair_totals(cluster: Any) -> Dict[str, int]:

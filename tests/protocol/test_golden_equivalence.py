@@ -32,7 +32,8 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 #: Stats added after the golden capture; they observe behavior that did not
 #: exist (or was not counted) then, so the golden scenario must keep them at
 #: zero — any other value means the run itself changed.
-POST_GOLDEN_ZERO_STATS = ("rebuilds_skipped", "hint_replays_deferred")
+POST_GOLDEN_ZERO_STATS = ("rebuilds_skipped", "hint_replays_deferred",
+                          "audit_keys_checked", "audit_mismatches")
 
 
 def run_golden_scenario(mechanism_name: str, request_mode: str, tracer=None):
