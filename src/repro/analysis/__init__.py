@@ -1,6 +1,7 @@
 """Analysis layer: correctness oracle, metadata accounting, latency summaries."""
 
-from .correctness import CorrectnessReport, KeyCorrectness, check_key, check_store
+from .correctness import (CorrectnessReport, KeyCorrectness, check_cluster,
+                          check_key, check_store)
 from .latency import LatencyReport, analyze_requests
 from .metadata import MetadataReport, compare_reports, measure_simulated_cluster, measure_sync_store
 from .report import format_cell, print_table, render_kv, render_table
@@ -13,6 +14,7 @@ __all__ = [
     "MetadataReport",
     "Summary",
     "analyze_requests",
+    "check_cluster",
     "check_key",
     "check_store",
     "compare_reports",

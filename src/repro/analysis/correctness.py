@@ -193,6 +193,45 @@ def check_key(key: str,
     )
 
 
+def check_cluster(cluster, write_log: Optional[WriteLog] = None) -> CorrectnessReport:
+    """Judge every key of a (converged) message-passing cluster.
+
+    The cluster analogue of :func:`check_store`: after ``cluster.converge()``
+    every live server stores an identical sibling set per key, so any
+    server's survivors can stand for the cluster's.  The first live server
+    (sorted order) that holds the key is used as the reference; a key held
+    by no live server yields an empty survivor set and every frontier write
+    is judged lost — which is exactly what a client would observe.
+
+    Works for both ``SimulatedCluster`` and ``AsyncioCluster`` (anything
+    with ``servers`` exposing ``node.siblings_of`` and a ``write_log``).
+    """
+    log = write_log if write_log is not None else cluster.write_log
+    report = CorrectnessReport(mechanism=cluster.mechanism.name)
+    is_up = getattr(getattr(cluster, "membership", None), "is_up",
+                    lambda _node_id: True)
+    for key in log.keys():
+        surviving: Sequence[Sibling] = []
+        for server_id in sorted(cluster.servers):
+            if not is_up(server_id):
+                continue
+            siblings = cluster.servers[server_id].node.siblings_of(key)
+            if siblings:
+                surviving = siblings
+                break
+        verdict = check_key(key, surviving, log)
+        report.per_key[key] = verdict
+        report.keys_checked += 1
+        if verdict.is_correct:
+            report.keys_correct += 1
+        report.total_lost_updates += len(verdict.lost_updates)
+        report.total_false_concurrency += len(verdict.false_concurrency_pairs)
+        report.total_sibling_surplus += verdict.sibling_surplus
+        report.total_sibling_deficit += verdict.sibling_deficit
+        report.total_session_superseded += len(verdict.session_superseded)
+    return report
+
+
 def check_store(store: SyncReplicatedStore,
                 write_log: Optional[WriteLog] = None,
                 converge_first: bool = True) -> CorrectnessReport:

@@ -185,39 +185,67 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_churn(args: argparse.Namespace) -> int:
-    """Run a churn scenario (elastic membership / flappy replica) and report."""
+    """Run a churn scenario (membership churn, skew, multi-DC) and report.
+
+    Exit status: 0 on success; 1 when the cluster failed to converge *or* an
+    exact mechanism lost an update (the generalized lost-update invariant).
+    """
+    import inspect
+
     tracer, sink = _open_tracer(args.trace)
-    report = run_churn_scenario(args.scenario, create(args.mechanism), seed=args.seed,
-                                quorum_mode=args.quorum_mode,
-                                anti_entropy_strategy=args.anti_entropy,
-                                tracer=tracer)
+    scenario_fn = CHURN_SCENARIOS[args.scenario]
+    kwargs = dict(seed=args.seed,
+                  quorum_mode=args.quorum_mode,
+                  anti_entropy_strategy=args.anti_entropy,
+                  tracer=tracer)
+    # Optional knobs only some scenarios accept (pass-through when set and
+    # supported; quietly ignored by scenarios without the parameter).
+    accepted = inspect.signature(scenario_fn).parameters
+    if args.duration_ms is not None and "duration_ms" in accepted:
+        kwargs["duration_ms"] = args.duration_ms
+    if args.zipf_s is not None and "zipf_s" in accepted:
+        kwargs["zipf_s"] = args.zipf_s
+    mechanism = create(args.mechanism)
+    report = scenario_fn(mechanism, **kwargs)
     stats = report.stats
+    rows = [
+        ["scenario", report.scenario],
+        ["mechanism", report.mechanism],
+        ["quorum mode", report.quorum_mode],
+        ["converged", report.converged],
+        ["convergence rounds", report.convergence_rounds],
+        ["final servers", ",".join(report.final_servers)],
+        ["joined", ",".join(report.joined) or "-"],
+        ["departed", ",".join(report.departed) or "-"],
+        ["handoff keys", report.handoff_keys],
+        ["requests completed", report.requests_completed],
+        ["requests failed", report.requests_failed],
+        ["hints stored", stats.get("hints_stored", 0)],
+        ["hint replays", stats.get("hint_replays", 0)],
+        ["merkle key syncs", stats.get("merkle_syncs", 0)],
+        ["rebalance handoffs", stats.get("handoffs", 0)],
+        ["ordinary merges", stats.get("merges", 0)],
+        ["sync bytes on the wire", report.sync_bytes],
+    ]
+    if report.lost_updates is not None:
+        rows.append(["lost updates (oracle)", report.lost_updates])
+        rows.append(["false concurrency (oracle)", report.false_concurrency])
+    if report.hot_key is not None:
+        rows.append(["hot key", report.hot_key])
+        rows.append(["max siblings (hot key)", report.max_sibling_count])
+    if report.datacenters:
+        rows.append(["datacenters", ",".join(report.datacenters)])
+        rows.append(["WAN partition flaps", report.partition_flaps])
     print(render_table(
-        ["metric", "value"],
-        [
-            ["scenario", report.scenario],
-            ["mechanism", report.mechanism],
-            ["quorum mode", report.quorum_mode],
-            ["converged", report.converged],
-            ["convergence rounds", report.convergence_rounds],
-            ["final servers", ",".join(report.final_servers)],
-            ["joined", ",".join(report.joined) or "-"],
-            ["departed", ",".join(report.departed) or "-"],
-            ["handoff keys", report.handoff_keys],
-            ["requests completed", report.requests_completed],
-            ["requests failed", report.requests_failed],
-            ["hints stored", stats.get("hints_stored", 0)],
-            ["hint replays", stats.get("hint_replays", 0)],
-            ["merkle key syncs", stats.get("merkle_syncs", 0)],
-            ["rebalance handoffs", stats.get("handoffs", 0)],
-            ["ordinary merges", stats.get("merges", 0)],
-            ["sync bytes on the wire", report.sync_bytes],
-        ],
+        ["metric", "value"], rows,
         title=f"Churn scenario {report.scenario!r} under {report.mechanism}",
     ))
     _write_stats_json(report.cluster, args.stats_json)
     _finish_trace(sink, args.trace)
-    return 0 if report.converged else 1
+    invariant_broken = (mechanism.exact
+                        and report.lost_updates is not None
+                        and report.lost_updates > 0)
+    return 0 if report.converged and not invariant_broken else 1
 
 
 def _run_cluster_audit(cluster, sample_size: int, seed: int):
@@ -588,6 +616,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="strict quorums fail writes when primaries are unreachable; "
                             "sloppy quorums fall back to the next ring nodes")
     churn.add_argument("--seed", type=int, default=2012)
+    churn.add_argument("--duration-ms", type=float, default=None, dest="duration_ms",
+                       help="override the scenario's simulated duration "
+                            "(e.g. long soak runs)")
+    churn.add_argument("--zipf-s", type=float, default=None, dest="zipf_s",
+                       help="override the Zipf skew exponent of skewed "
+                            "scenarios (hot_key, soak)")
     churn.add_argument("--stats-json", default=None, dest="stats_json", metavar="PATH",
                        help="write the cluster's unified metrics snapshot as JSON")
     churn.add_argument("--trace", default=None, metavar="PATH",

@@ -9,8 +9,10 @@ from .ring import (
     RebalanceMove,
     rebalance_plan,
 )
+from .topology import DEFAULT_DC, Topology
 
 __all__ = [
+    "DEFAULT_DC",
     "DEFAULT_PARTITION_COUNT",
     "ConsistentHashRing",
     "Membership",
@@ -21,5 +23,6 @@ __all__ = [
     "PlacementService",
     "QuorumConfig",
     "RebalanceMove",
+    "Topology",
     "rebalance_plan",
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List
 
 from ..core.exceptions import ConfigurationError
+from .topology import DEFAULT_DC, Topology
 
 #: Listener signature: ``callback(node_id, event)`` with event one of
 #: ``"added"``, ``"removed"``, ``"up"``, ``"down"``.
@@ -37,6 +38,9 @@ class NodeInfo:
 
     node_id: str
     status: NodeStatus = NodeStatus.UP
+    #: Datacenter the node lives in (:data:`DEFAULT_DC` when the cluster has
+    #: no topology).
+    dc: str = DEFAULT_DC
 
     @property
     def is_up(self) -> bool:
@@ -44,11 +48,19 @@ class NodeInfo:
 
 
 class Membership:
-    """The set of storage nodes and their liveness."""
+    """The set of storage nodes and their liveness.
 
-    def __init__(self, nodes: Iterable[str] = ()) -> None:
+    When a :class:`~repro.cluster.topology.Topology` is supplied, each node's
+    datacenter is recorded on join (explicit ``dc`` argument first, then the
+    topology's assignment) so liveness queries can be scoped per-DC — the
+    view a DC-local failure detector would have.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 topology: "Topology | None" = None) -> None:
         self._nodes: Dict[str, NodeInfo] = {}
         self._listeners: List[MembershipListener] = []
+        self.topology = topology
         #: Monotonic view version, bumped on every mutation.
         self.version = 0
         for node in nodes:
@@ -69,13 +81,17 @@ class Membership:
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def add(self, node_id: str) -> None:
-        """Register a node (initially up)."""
+    def add(self, node_id: str, dc: "str | None" = None) -> None:
+        """Register a node (initially up), optionally placing it in a DC."""
         if not node_id:
             raise ConfigurationError("node id must be a non-empty string")
         if node_id in self._nodes:
             raise ConfigurationError(f"node {node_id!r} already in membership")
-        self._nodes[node_id] = NodeInfo(node_id)
+        if dc is None:
+            dc = self.topology.dc_of(node_id) if self.topology else DEFAULT_DC
+        elif self.topology is not None:
+            self.topology.assign(node_id, dc)
+        self._nodes[node_id] = NodeInfo(node_id, dc=dc)
         self._notify(node_id, "added")
 
     def remove(self, node_id: str) -> None:
@@ -118,6 +134,15 @@ class Membership:
         """True iff the node exists and is marked up."""
         info = self._nodes.get(node_id)
         return info is not None and info.is_up
+
+    def dc_of(self, node_id: str) -> str:
+        """The datacenter a member lives in."""
+        return self._require(node_id).dc
+
+    def up_nodes_in(self, dc: str) -> List[str]:
+        """Node ids in one datacenter currently marked up, sorted."""
+        return sorted(node_id for node_id, info in self._nodes.items()
+                      if info.is_up and info.dc == dc)
 
     def status(self, node_id: str) -> NodeStatus:
         """The liveness status of ``node_id``."""

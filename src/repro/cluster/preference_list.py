@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 from ..core.exceptions import ConfigurationError
 from .membership import Membership
 from .ring import ConsistentHashRing, PartitionMap
+from .topology import Topology
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,8 @@ class PlacementService:
                  ring: ConsistentHashRing,
                  membership: Membership,
                  config: Optional[QuorumConfig] = None,
-                 partition_map: Optional[PartitionMap] = None) -> None:
+                 partition_map: Optional[PartitionMap] = None,
+                 topology: Optional[Topology] = None) -> None:
         self.ring = ring
         self.membership = membership
         self.config = config or QuorumConfig()
@@ -62,6 +64,15 @@ class PlacementService:
         #: default map is used when the caller does not supply the
         #: cluster-wide one.
         self.partition_map = partition_map or PartitionMap()
+        #: Datacenter assignment.  DC-aware placement only activates when the
+        #: topology actually spans multiple DCs, so single-DC clusters (and
+        #: every pre-topology caller) keep the plain ring-walk order
+        #: bit-for-bit.
+        self.topology = topology
+
+    @property
+    def _multi_dc(self) -> bool:
+        return self.topology is not None and self.topology.spans_multiple_dcs
 
     def partition_of(self, key: str) -> int:
         """The storage partition (vnode range) ``key`` belongs to."""
@@ -71,7 +82,15 @@ class PlacementService:
     # Placement queries
     # ------------------------------------------------------------------ #
     def primary_replicas(self, key: str) -> List[str]:
-        """The key's N primary replica homes, regardless of liveness."""
+        """The key's N primary replica homes, regardless of liveness.
+
+        With a multi-DC topology the first pass of the ring walk picks one
+        node per datacenter, so every DC holds at least one primary (when
+        N >= DC count) and a whole-DC outage cannot take out every home.
+        """
+        if self._multi_dc:
+            return self.ring.preference_list_spread(
+                key, self.config.n, self.topology.dc_of)
         return self.ring.preference_list(key, self.config.n)
 
     def active_replicas(self, key: str) -> List[str]:
@@ -87,7 +106,7 @@ class PlacementService:
             return up_primaries
         if len(up_primaries) == self.config.n:
             return up_primaries
-        fallback_pool = self.ring.preference_list(key, len(self.ring))
+        fallback_pool = self.extended_preference_list(key)
         result = list(up_primaries)
         for node in fallback_pool:
             if len(result) >= self.config.n:
@@ -105,18 +124,42 @@ class PlacementService:
         fallback nodes that stand in for timed-out primaries.  Liveness is
         deliberately ignored — in async mode failures are discovered by
         deadline, not by consulting the membership view.
-        """
-        return self.ring.preference_list(key, count if count is not None else len(self.ring))
 
-    def fallbacks_for(self, key: str, exclude: Sequence[str] = ()) -> List[str]:
+        With a multi-DC topology the DC-spread primaries lead the list (so
+        the first N entries are still exactly the primary replicas) and the
+        remaining nodes follow in ring order.
+        """
+        limit = count if count is not None else len(self.ring)
+        if not self._multi_dc:
+            return self.ring.preference_list(key, limit)
+        primaries = self.primary_replicas(key)
+        result = list(primaries)
+        for node in self.ring.preference_list(key, len(self.ring)):
+            if len(result) >= limit:
+                break
+            if node not in result:
+                result.append(node)
+        return result[:limit]
+
+    def fallbacks_for(self, key: str, exclude: Sequence[str] = (),
+                      near: Optional[str] = None) -> List[str]:
         """Sloppy-quorum fallback candidates for ``key``, in ring order.
 
         ``exclude`` lists nodes already contacted (primaries and previously
-        tried fallbacks); the result is the remaining ring walk.
+        tried fallbacks); the result is the remaining ring walk.  With a
+        multi-DC topology, ``near`` (typically the coordinator) pulls
+        same-datacenter candidates to the front — the per-DC sloppy quorum:
+        during a cross-DC partition the coordinator promotes local stand-ins
+        it can actually reach instead of timing out on WAN peers.  The sort
+        is stable, so ring order is preserved within each half.
         """
         excluded = set(exclude)
-        return [node for node in self.extended_preference_list(key)
-                if node not in excluded]
+        candidates = [node for node in self.extended_preference_list(key)
+                      if node not in excluded]
+        if near is not None and self._multi_dc:
+            near_dc = self.topology.dc_of(near)
+            candidates.sort(key=lambda node: self.topology.dc_of(node) != near_dc)
+        return candidates
 
     def coordinator_for(self, key: str) -> str:
         """The node a client should send its request to (first active replica)."""

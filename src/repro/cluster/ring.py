@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError
 
@@ -184,6 +184,50 @@ class ConsistentHashRing:
                 result.append(node)
                 if len(result) == count or len(result) == len(self._nodes):
                     break
+        return result
+
+    def preference_list_spread(self, key: str, count: int,
+                               group_of: "Callable[[str], str]") -> List[str]:
+        """Like :meth:`preference_list`, but spread across node groups.
+
+        Walks the ring clockwise from the key twice: the first pass picks at
+        most one node per *group* (datacenter), the second fills the
+        remaining slots in plain ring order.  With ``count`` at least the
+        number of groups, every group contributes a replica — the Dynamo
+        multi-DC placement rule that lets a whole-DC outage leave local
+        copies everywhere else.  When all nodes share one group the result
+        degenerates to :meth:`preference_list` exactly.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if not self._positions:
+            return []
+        walk: List[str] = []
+        start = bisect.bisect_right(self._positions, self.key_position(key))
+        total_positions = len(self._positions)
+        for offset in range(total_positions):
+            position = self._positions[(start + offset) % total_positions]
+            node = self._position_to_node[position]
+            if node not in walk:
+                walk.append(node)
+                if len(walk) == len(self._nodes):
+                    break
+        result: List[str] = []
+        seen_groups = set()
+        for node in walk:
+            group = group_of(node)
+            if group in seen_groups:
+                continue
+            seen_groups.add(group)
+            result.append(node)
+            if len(result) == count:
+                return result
+        for node in walk:
+            if node in result:
+                continue
+            result.append(node)
+            if len(result) == count:
+                break
         return result
 
     def ownership_histogram(self, keys: Iterable[str]) -> Dict[str, int]:

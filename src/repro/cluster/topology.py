@@ -1,0 +1,116 @@
+"""Datacenter topology: which DC each node (or pinned client) lives in.
+
+A :class:`Topology` is a plain mapping from node id to datacenter id, shared
+by every layer that wants to be DC-aware:
+
+* **placement** (:mod:`repro.cluster.preference_list`) spreads a key's
+  primary replicas across datacenters and prefers same-DC sloppy fallbacks,
+  so a whole-DC outage leaves each surviving DC with local replicas *and*
+  local stand-ins — the per-DC sloppy quorum of the Dynamo lineage;
+* **latency** (:class:`repro.network.latency.WanLatency`) draws intra-DC
+  and cross-DC delays from different distributions;
+* **partitions** (:meth:`repro.network.partition.PartitionManager.
+  partition_datacenters`) cut every WAN link at once — the classic
+  cross-DC partition the paper's sloppy-quorum story is about.
+
+Client addresses (``client:<id>``) may be pinned into a DC too, so a
+cross-DC partition isolates clients together with their local replicas.
+Nodes never assigned a DC fall into :data:`DEFAULT_DC`; a topology where
+every node shares one DC is equivalent to having no topology at all, which
+keeps single-DC clusters byte-identical to the pre-topology behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+
+#: Datacenter assigned to nodes the topology was never told about.
+DEFAULT_DC = "dc1"
+
+
+class Topology:
+    """Assignment of nodes to datacenters.
+
+    The mapping is intentionally open: any string id (server or pinned
+    client address) can be assigned, and lookups for unknown ids return
+    :data:`DEFAULT_DC` rather than raising, so a topology can be threaded
+    through layers that also see ids it does not manage.
+    """
+
+    def __init__(self, assignment: Optional[Mapping[str, str]] = None) -> None:
+        self._dc_of: Dict[str, str] = {}
+        for node_id, dc in (assignment or {}).items():
+            self.assign(node_id, dc)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_dc(cls, nodes: Iterable[str], dc: str = DEFAULT_DC) -> "Topology":
+        """Every node in one datacenter (the no-op topology)."""
+        return cls({node: dc for node in nodes})
+
+    @classmethod
+    def striped(cls, nodes: Sequence[str], datacenters: Sequence[str]) -> "Topology":
+        """Nodes dealt round-robin across the given datacenters."""
+        if not datacenters:
+            raise ConfigurationError("striped() needs at least one datacenter")
+        return cls({node: datacenters[index % len(datacenters)]
+                    for index, node in enumerate(nodes)})
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def assign(self, node_id: str, dc: str) -> None:
+        """Place (or move) a node into a datacenter."""
+        if not node_id:
+            raise ConfigurationError("node id must be a non-empty string")
+        if not dc:
+            raise ConfigurationError("datacenter id must be a non-empty string")
+        self._dc_of[node_id] = dc
+
+    def forget(self, node_id: str) -> None:
+        """Drop a node's assignment (it reverts to :data:`DEFAULT_DC`)."""
+        self._dc_of.pop(node_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def dc_of(self, node_id: str) -> str:
+        """The datacenter a node lives in (:data:`DEFAULT_DC` if unassigned)."""
+        return self._dc_of.get(node_id, DEFAULT_DC)
+
+    def is_local(self, a: str, b: str) -> bool:
+        """True iff both ids live in the same datacenter."""
+        return self.dc_of(a) == self.dc_of(b)
+
+    def datacenters(self) -> List[str]:
+        """All datacenter ids with at least one assigned node, sorted."""
+        return sorted(set(self._dc_of.values()))
+
+    def nodes_in(self, dc: str) -> List[str]:
+        """All assigned node ids in one datacenter, sorted."""
+        return sorted(node for node, node_dc in self._dc_of.items()
+                      if node_dc == dc)
+
+    @property
+    def spans_multiple_dcs(self) -> bool:
+        """True iff assigned nodes cover more than one datacenter."""
+        return len(set(self._dc_of.values())) > 1
+
+    def describe(self) -> Dict[str, List[str]]:
+        """``{dc: [nodes...]}`` snapshot for diagnostics."""
+        return {dc: self.nodes_in(dc) for dc in self.datacenters()}
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._dc_of
+
+    def __len__(self) -> int:
+        return len(self._dc_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        parts = ", ".join(f"{dc}:{len(self.nodes_in(dc))}"
+                          for dc in self.datacenters())
+        return f"Topology({parts or 'empty'})"

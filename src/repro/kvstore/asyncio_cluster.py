@@ -40,6 +40,7 @@ from ..clocks.interface import CausalityMechanism
 from ..cluster.membership import Membership
 from ..cluster.preference_list import PlacementService, QuorumConfig
 from ..cluster.ring import DEFAULT_PARTITION_COUNT, ConsistentHashRing, PartitionMap
+from ..cluster.topology import Topology
 from ..core.exceptions import ConfigurationError
 from ..network.asyncio_transport import Address, AsyncioEndpoint
 from ..network.message import Message
@@ -234,6 +235,7 @@ class AsyncioCluster:
                  virtual_nodes: int = 32,
                  partition_count: int = DEFAULT_PARTITION_COUNT,
                  request_overhead_bytes: int = 64,
+                 topology: Optional[Topology] = None,
                  tracer: Optional[Any] = None) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
@@ -260,11 +262,15 @@ class AsyncioCluster:
         self.merkle_maintenance = merkle_maintenance
 
         self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
-        self.membership = Membership(server_ids)
+        #: DC assignment: placement becomes DC-aware here exactly as in the
+        #: simulator (WAN latency itself is whatever the real network does).
+        self.topology = topology
+        self.membership = Membership(server_ids, topology=topology)
         self.partition_map = PartitionMap(partition_count)
         self.placement = PlacementService(self.ring, self.membership,
                                           self.quorum,
-                                          partition_map=self.partition_map)
+                                          partition_map=self.partition_map,
+                                          topology=topology)
         self.write_log = WriteLog()
         self.merkle_stats = MerkleSyncStats()
         self.env = StaticProtocolEnv(

@@ -511,8 +511,11 @@ class Coordinator:
         primary = pending.standing_in.get(replica_id, replica_id)
         extend = env.quorum.sloppy and (pending.kind == "put" or not pending.done)
         if extend:
+            # ``near`` prefers same-DC stand-ins on multi-DC topologies (the
+            # per-DC sloppy quorum); without a topology it is a no-op.
             candidates = env.placement.fallbacks_for(pending.key,
-                                                     exclude=pending.tried)
+                                                     exclude=pending.tried,
+                                                     near=node.node_id)
             fallback = candidates[0] if candidates else None
             if fallback is not None:
                 self._trace_point(pending, "fallback.promotion",

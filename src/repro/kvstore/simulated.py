@@ -145,6 +145,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..clocks.interface import CausalityMechanism
 from ..cluster.membership import Membership
 from ..cluster.preference_list import PlacementService, QuorumConfig
+from ..cluster.topology import Topology
 from ..cluster.ring import (
     DEFAULT_PARTITION_COUNT,
     ConsistentHashRing,
@@ -564,6 +565,7 @@ class SimulatedCluster:
                  virtual_nodes: int = 32,
                  partition_count: int = DEFAULT_PARTITION_COUNT,
                  request_overhead_bytes: int = 64,
+                 topology: Optional[Topology] = None,
                  tracer: Optional[Any] = None) -> None:
         if not server_ids:
             raise ConfigurationError("at least one server id is required")
@@ -622,14 +624,18 @@ class SimulatedCluster:
             partitions=self.partitions,
         )
         self.ring = ConsistentHashRing(server_ids, virtual_nodes=virtual_nodes)
-        self.membership = Membership(server_ids)
+        #: Datacenter assignment; ``None`` means a single implicit DC and
+        #: keeps placement byte-identical to the pre-topology behavior.
+        self.topology = topology
+        self.membership = Membership(server_ids, topology=topology)
         # The cluster-wide range ↔ vnode mapping: every server divides its
         # key space into the same fixed partitions, so per-range digests are
         # comparable between peers and handoff can move whole ranges.
         self.partition_map = PartitionMap(partition_count)
         self.placement = PlacementService(self.ring, self.membership,
                                           self.quorum,
-                                          partition_map=self.partition_map)
+                                          partition_map=self.partition_map,
+                                          topology=topology)
         self.write_log = WriteLog()
         self.request_overhead_bytes = request_overhead_bytes
         self.request_mode = request_mode
@@ -784,19 +790,20 @@ class SimulatedCluster:
             self.transport.register(server_id, server.handle_message)
         self.membership.mark_up(server_id)
 
-    def join_node(self, server_id: str) -> int:
+    def join_node(self, server_id: str, dc: Optional[str] = None) -> int:
         """Add a new (empty) server to the running cluster.
 
         The ring is rebalanced and, for every key whose preference list now
         includes the newcomer, one current holder pushes the key's state via
         KEY_HANDOFF.  Returns the number of keys scheduled for handoff.
+        ``dc`` places the newcomer in a datacenter (topology clusters only).
         """
         if server_id in self.servers:
             raise ConfigurationError(f"server {server_id!r} already in the cluster")
         ring_before = ConsistentHashRing(self.ring.nodes(),
                                          virtual_nodes=self.ring.virtual_nodes)
         self.ring.add_node(server_id)
-        self.membership.add(server_id)
+        self.membership.add(server_id, dc=dc)
         server = MessageServer(server_id, self.mechanism, self)
         self.servers[server_id] = server
         self.transport.register(server_id, server.handle_message)

@@ -12,6 +12,7 @@ from .latency import (
     PerLinkLatency,
     SizeDependentLatency,
     UniformLatency,
+    WanLatency,
 )
 from .message import Message, MessageType
 from .partition import PartitionManager
@@ -33,4 +34,5 @@ __all__ = [
     "Transport",
     "TransportStats",
     "UniformLatency",
+    "WanLatency",
 ]

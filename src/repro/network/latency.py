@@ -135,3 +135,41 @@ class PerLinkLatency(LatencyModel):
 
     def sample(self, rng: random.Random, size_bytes: int = 0) -> float:
         return self.default.sample(rng, size_bytes)
+
+
+class WanLatency(PerLinkLatency):
+    """Topology-driven latency: intra-DC links fast, cross-DC links slow.
+
+    Resolves each (sender, receiver) pair through the cluster
+    :class:`~repro.cluster.topology.Topology` instead of an explicit link
+    table: same-DC pairs use the ``intra`` model, different-DC pairs the
+    ``cross`` model.  Explicit :meth:`set_link` overrides still win, so a
+    single degraded link can be layered on top of the site model.  The
+    defaults put intra-DC propagation well under a millisecond and cross-DC
+    propagation in the tens of milliseconds — the WAN regime where the
+    paper's metadata-size differences turn into visible request latency.
+
+    All draws come from the ``rng`` the transport passes per message, so a
+    seeded simulation replays the identical delay sequence.
+    """
+
+    #: Cross-DC bandwidth default: WAN links carry fewer bytes/ms than the
+    #: intra-DC fabric, so big causality metadata hurts twice (propagation
+    #: and transmission).
+    def __init__(self, topology,
+                 intra: Optional[LatencyModel] = None,
+                 cross: Optional[LatencyModel] = None) -> None:
+        self.topology = topology
+        self.intra = intra or SizeDependentLatency(
+            base=UniformLatency(0.2, 0.8), bytes_per_ms=5000.0)
+        self.cross = cross or SizeDependentLatency(
+            base=UniformLatency(12.0, 22.0), bytes_per_ms=1500.0)
+        super().__init__(default=self.intra)
+
+    def for_link(self, sender: str, receiver: str) -> LatencyModel:
+        explicit = self._links.get((sender, receiver))
+        if explicit is not None:
+            return explicit
+        if self.topology.is_local(sender, receiver):
+            return self.intra
+        return self.cross

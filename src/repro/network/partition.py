@@ -43,6 +43,22 @@ class PartitionManager:
             seen |= group
         self._groups = frozen
 
+    def partition_datacenters(self, topology,
+                              extras: "Dict[str, Iterable[str]] | None" = None) -> None:
+        """Cut every WAN link: one partition group per datacenter.
+
+        ``topology`` supplies the node → DC assignment (servers and any
+        pinned client addresses alike); ``extras`` adds further ids to a
+        DC's group, e.g. client addresses the topology does not manage.
+        Intra-DC traffic is untouched — this is the whole-DC partition the
+        multi-DC scenarios flap on and off.
+        """
+        groups: Dict[str, Set[str]] = {
+            dc: set(topology.nodes_in(dc)) for dc in topology.datacenters()}
+        for dc, members in (extras or {}).items():
+            groups.setdefault(dc, set()).update(members)
+        self.partition(*(groups[dc] for dc in sorted(groups)))
+
     def heal(self) -> None:
         """Remove every group partition (cut links stay cut)."""
         self._groups = []

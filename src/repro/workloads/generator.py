@@ -26,6 +26,21 @@ from ..core.exceptions import ConfigurationError
 from .traces import Operation, OpType, Trace
 
 
+def zipf_weights(count: int, s: float) -> List[float]:
+    """Zipfian popularity weights for ``count`` ranked keys.
+
+    ``s`` is the skew exponent: 0 gives uniform weights, ~1 the classic
+    web-traffic skew where the rank-0 key dominates.  Shared by the trace
+    generator and the closed-loop cluster drivers so "hot key" means the
+    same thing in both worlds (rank 0 = hottest).
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if s <= 0:
+        return [1.0] * count
+    return [1.0 / ((rank + 1) ** s) for rank in range(count)]
+
+
 @dataclass
 class WorkloadConfig:
     """Parameters of a synthetic workload.
@@ -163,10 +178,7 @@ class WorkloadGenerator:
         trace.put(client, key, value, server=server)
 
     def _build_key_weights(self) -> List[float]:
-        config = self.config
-        if config.zipf_s <= 0:
-            return [1.0] * config.keys
-        return [1.0 / ((rank + 1) ** config.zipf_s) for rank in range(config.keys)]
+        return zipf_weights(self.config.keys, self.config.zipf_s)
 
     def _pick_key(self) -> str:
         keys = self.config.key_names()

@@ -280,12 +280,36 @@ class ChurnReport:
     final_values: Dict[str, List[str]] = field(default_factory=dict)
     stats: Dict[str, int] = field(default_factory=dict)
     sync_bytes: int = 0
+    #: Generalized lost-update invariant, judged by the write-log oracle
+    #: after convergence (None when the oracle did not run, e.g. the cluster
+    #: never converged).  Exact mechanisms must show 0 lost updates.
+    lost_updates: "int | None" = None
+    false_concurrency: "int | None" = None
+    session_superseded: "int | None" = None
+    #: Skew fields (hot_key / soak): the contended key and its observed
+    #: sibling pressure.  ``sibling_series`` rows are
+    #: ``(t_ms, hot_key_max_siblings, cluster_metadata_bytes)`` sampled
+    #: periodically during the run — the per-mechanism series the hot-key
+    #: benchmark plots.
+    hot_key: "str | None" = None
+    max_sibling_count: int = 0
+    sibling_series: List[tuple] = field(default_factory=list)
+    #: Multi-DC fields: datacenters in play and the simulated-time windows
+    #: during which every WAN link was cut.
+    datacenters: List[str] = field(default_factory=list)
+    partition_windows: List[tuple] = field(default_factory=list)
+    partition_flaps: int = 0
     #: The cluster the scenario ran on (for test inspection; not reported).
     cluster: object = field(default=None, repr=False, compare=False)
 
 
 def _finish_churn_run(cluster, report: "ChurnReport", max_rounds: int = 40) -> "ChurnReport":
-    """Drive a drained cluster to convergence and fill in the report."""
+    """Drive a drained cluster to convergence and fill in the report.
+
+    When the cluster converges and accepted at least one write, the write-log
+    oracle judges the surviving siblings of every key — the generalized
+    lost-update invariant every churn scenario now reports.
+    """
     from ..core.exceptions import ConfigurationError
 
     try:
@@ -302,7 +326,31 @@ def _finish_churn_run(cluster, report: "ChurnReport", max_rounds: int = 40) -> "
         report.final_values[key] = sorted(map(repr, any_server.node.values_of(key)))
     report.stats = cluster.stat_totals()
     report.sync_bytes = cluster.sync_bytes()
+    if report.converged and cluster.write_log.keys():
+        from ..analysis.correctness import check_cluster
+
+        verdict = check_cluster(cluster)
+        report.lost_updates = verdict.total_lost_updates
+        report.false_concurrency = verdict.total_false_concurrency
+        report.session_superseded = verdict.total_session_superseded
     return report
+
+
+def _sample_sibling_series(cluster, report: "ChurnReport", hot_key: str,
+                           duration_ms: float, every_ms: float) -> None:
+    """Periodically record the hot key's sibling count and metadata footprint."""
+
+    def sample() -> None:
+        counts = cluster.sibling_counts(hot_key)
+        peak = max(counts.values()) if counts else 0
+        report.max_sibling_count = max(report.max_sibling_count, peak)
+        report.sibling_series.append(
+            (round(cluster.simulation.now, 3), peak, cluster.metadata_bytes()))
+
+    at = every_ms
+    while at < duration_ms:
+        cluster.simulation.schedule_at(at, sample, label="sibling-sample")
+        at += every_ms
 
 
 def run_elasticity_scenario(mechanism: CausalityMechanism,
@@ -497,10 +545,294 @@ def run_sloppy_partition_scenario(mechanism: CausalityMechanism,
     return _finish_churn_run(cluster, report)
 
 
+def run_hot_key_scenario(mechanism: CausalityMechanism,
+                         seed: int = 17,
+                         duration_ms: float = 420.0,
+                         keys: int = 6,
+                         clients: int = 6,
+                         zipf_s: float = 1.1,
+                         stale_write_fraction: float = 0.35,
+                         quorum_mode: str = "sloppy",
+                         anti_entropy_strategy: str = "merkle",
+                         sample_every_ms: float = 40.0,
+                         tracer=None) -> ChurnReport:
+    """Zipfian traffic hammers one contended key — the Figure-1 story at scale.
+
+    Six clients send Zipf-skewed traffic (rank-0 key hottest) and a third of
+    their writes reuse stale read contexts, so causally concurrent versions
+    of the hot key pile up — the sibling-explosion regime the paper's
+    mechanisms differ on.  Mid-run one of the hot key's primary replicas
+    crashes and later recovers (hints + replay on the hottest data).  The
+    report carries a ``(time, siblings, metadata_bytes)`` series per run, and
+    the oracle judges the generalized lost-update invariant at the end:
+    exact mechanisms must keep every frontier write despite the pile-up.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import FixedLatency
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=("n1", "n2", "n3", "n4", "n5"),
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
+        latency=FixedLatency(0.5),
+        anti_entropy_interval_ms=40.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=30.0,
+        seed=seed,
+        tracer=tracer,
+    )
+    key_names = tuple(f"key-{index}" for index in range(keys))
+    hot_key = key_names[0]
+    report = ChurnReport(scenario="hot_key", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode, hot_key=hot_key)
+
+    # Crash one primary of the hot key mid-run: the hottest writes detour
+    # through hints while siblings are still exploding.
+    victim = cluster.placement.primary_replicas(hot_key)[1]
+    cluster.simulation.schedule_at(duration_ms * 0.35,
+                                   lambda: cluster.fail_node(victim),
+                                   label=f"hot-key-fail:{victim}")
+    cluster.simulation.schedule_at(duration_ms * 0.65,
+                                   lambda: cluster.recover_node(victim),
+                                   label=f"hot-key-recover:{victim}")
+
+    _sample_sibling_series(cluster, report, hot_key, duration_ms, sample_every_ms)
+
+    config = ClosedLoopConfig(
+        keys=key_names,
+        think_time_ms=4.0,
+        write_fraction=0.6,
+        stale_write_fraction=stale_write_fraction,
+        zipf_s=zipf_s,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config,
+                             base_seed=seed * 1000)
+    report.cluster = cluster
+    _finish_churn_run(cluster, report)
+    # One last sample after convergence: the settled frontier size.
+    counts = cluster.sibling_counts(hot_key)
+    peak = max(counts.values()) if counts else 0
+    report.max_sibling_count = max(report.max_sibling_count, peak)
+    report.sibling_series.append(
+        (round(cluster.simulation.now, 3), peak, cluster.metadata_bytes()))
+    return report
+
+
+def _two_dc_topology(server_ids: Sequence[str], client_count: int,
+                     dcs: Sequence[str] = ("east", "west")):
+    """Servers split half/half across two DCs, clients pinned alternately.
+
+    Client *addresses* (``client:<id>``) are what the transport routes, so
+    those are what gets pinned — a whole-DC partition then isolates each
+    client with its local replicas.
+    """
+    from ..cluster.topology import Topology
+
+    half = (len(server_ids) + 1) // 2
+    topology = Topology({server: dcs[0] if index < half else dcs[1]
+                         for index, server in enumerate(server_ids)})
+    for index in range(client_count):
+        topology.assign(f"client:client-{index}", dcs[index % len(dcs)])
+    return topology
+
+
+def run_multi_dc_scenario(mechanism: CausalityMechanism,
+                          seed: int = 23,
+                          duration_ms: float = 1200.0,
+                          keys: int = 4,
+                          clients: int = 4,
+                          quorum_mode: str = "sloppy",
+                          anti_entropy_strategy: str = "merkle",
+                          partition_window: Sequence[float] = (0.3, 0.75),
+                          tracer=None) -> ChurnReport:
+    """Two datacenters, WAN latency, and a full cross-DC partition.
+
+    Six servers span two DCs; DC-aware placement spreads every key's three
+    primaries 2+1 across them, and clients are pinned into a home DC.
+    Messages cross a :class:`~repro.network.latency.WanLatency` model
+    (sub-ms intra-DC, tens of ms cross-DC), so the async request mode runs
+    with WAN-calibrated deadlines.  Mid-run every WAN link is cut: each DC
+    keeps serving its local clients via per-DC sloppy quorums — coordinators
+    promote *same-DC* fallbacks (the topology-aware ``fallbacks_for``) and
+    hold hints for the unreachable remote primaries.  After the heal, hint
+    replay and anti-entropy must reconcile the two DCs' divergent sibling
+    sets, and the oracle checks no acknowledged write was lost.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import WanLatency
+
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    server_ids = ("n1", "n2", "n3", "n4", "n5", "n6")
+    topology = _two_dc_topology(server_ids, clients)
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=server_ids,
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
+        latency=WanLatency(topology),
+        topology=topology,
+        anti_entropy_interval_ms=150.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=60.0,
+        request_mode="async",
+        replica_timeout_ms=50.0,
+        request_timeout_ms=110.0,
+        client_timeout_ms=130.0,
+        seed=seed,
+        tracer=tracer,
+    )
+    report = ChurnReport(scenario="multi_dc", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode,
+                         datacenters=topology.datacenters())
+
+    cut_at = duration_ms * partition_window[0]
+    heal_at = duration_ms * partition_window[1]
+    cluster.simulation.schedule_at(
+        cut_at, lambda: cluster.partitions.partition_datacenters(topology),
+        label="wan-partition:cut")
+    cluster.simulation.schedule_at(
+        heal_at, lambda: cluster.partitions.heal(),
+        label="wan-partition:heal")
+    report.partition_windows.append((cut_at, heal_at))
+    report.partition_flaps = 1
+
+    config = ClosedLoopConfig(
+        keys=tuple(f"key-{index}" for index in range(keys)),
+        think_time_ms=6.0,
+        write_fraction=0.6,
+        stale_write_fraction=0.2,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config,
+                             base_seed=seed * 1000)
+    cluster.partitions.heal()
+    report.cluster = cluster
+    return _finish_churn_run(cluster, report, max_rounds=60)
+
+
+def run_soak_scenario(mechanism: CausalityMechanism,
+                      seed: int = 29,
+                      duration_ms: float = 1500.0,
+                      keys: int = 8,
+                      clients: int = 6,
+                      zipf_s: float = 0.9,
+                      stale_write_fraction: float = 0.25,
+                      flaps: int = 2,
+                      quorum_mode: str = "sloppy",
+                      anti_entropy_strategy: str = "merkle",
+                      sample_every_ms: float = 100.0,
+                      tracer=None) -> ChurnReport:
+    """Long mixed run: churn × skew × WAN partition flap, all at once.
+
+    A two-DC, six-server cluster under Zipf-skewed stale-context traffic
+    takes everything the other scenarios throw one at a time: a node
+    crashes and recovers, a new node joins mid-run (ring rebalance +
+    handoff), the WAN link flaps ``flaps`` times (cut, heal, repeat), and a
+    founding node is gracefully decommissioned near the end.  The point of
+    a soak is the *interaction* of the mechanisms — hints replaying into a
+    rebalanced ring while anti-entropy reconciles partition-era siblings —
+    and the exit bar is the same as everywhere else: convergence plus the
+    generalized lost-update invariant.  ``duration_ms`` scales the run; the
+    default stays test-sized, the ``-m soak`` suite runs it long.
+    """
+    from ..cluster.preference_list import QuorumConfig
+    from ..kvstore.simulated import SimulatedCluster
+    from ..network.latency import WanLatency
+    from .clients import ClosedLoopConfig, run_closed_loop_workload
+
+    server_ids = ("n1", "n2", "n3", "n4", "n5", "n6")
+    topology = _two_dc_topology(server_ids, clients)
+    cluster = SimulatedCluster(
+        mechanism,
+        server_ids=server_ids,
+        quorum=QuorumConfig(n=3, r=2, w=2, sloppy=(quorum_mode == "sloppy")),
+        latency=WanLatency(topology),
+        topology=topology,
+        anti_entropy_interval_ms=120.0,
+        anti_entropy_strategy=anti_entropy_strategy,
+        hint_replay_interval_ms=50.0,
+        request_mode="async",
+        replica_timeout_ms=50.0,
+        request_timeout_ms=110.0,
+        client_timeout_ms=130.0,
+        seed=seed,
+        tracer=tracer,
+    )
+    key_names = tuple(f"key-{index}" for index in range(keys))
+    hot_key = key_names[0]
+    report = ChurnReport(scenario="soak", mechanism=mechanism.name,
+                         quorum_mode=quorum_mode, hot_key=hot_key,
+                         datacenters=topology.datacenters())
+
+    # Node churn: an early crash/recover cycle and a mid-run join.  The
+    # joiner lands in the smaller DC (or east on a tie).
+    cluster.simulation.schedule_at(duration_ms * 0.10,
+                                   lambda: cluster.fail_node("n2"),
+                                   label="soak-fail:n2")
+    cluster.simulation.schedule_at(duration_ms * 0.25,
+                                   lambda: cluster.recover_node("n2"),
+                                   label="soak-recover:n2")
+
+    def do_join() -> None:
+        dc = min(topology.datacenters(),
+                 key=lambda name: len(topology.nodes_in(name)))
+        report.handoff_keys += cluster.join_node("n7", dc=dc)
+        report.joined.append("n7")
+
+    cluster.simulation.schedule_at(duration_ms * 0.15, do_join, label="soak-join:n7")
+
+    # WAN flaps: evenly spaced cut/heal cycles in the middle of the run.
+    flap_span = duration_ms * 0.5
+    flap_start = duration_ms * 0.3
+    period = flap_span / max(flaps, 1)
+    for flap in range(flaps):
+        cut_at = flap_start + flap * period
+        heal_at = cut_at + period * 0.6
+        cluster.simulation.schedule_at(
+            cut_at, lambda: cluster.partitions.partition_datacenters(topology),
+            label=f"soak-flap-cut:{flap}")
+        cluster.simulation.schedule_at(
+            heal_at, lambda: cluster.partitions.heal(),
+            label=f"soak-flap-heal:{flap}")
+        report.partition_windows.append((cut_at, heal_at))
+    report.partition_flaps = flaps
+
+    # Graceful departure after the last heal, once the WAN is quiet.
+    def do_leave() -> None:
+        report.handoff_keys += cluster.decommission_node("n1")
+        report.departed.append("n1")
+
+    cluster.simulation.schedule_at(duration_ms * 0.9, do_leave,
+                                   label="soak-leave:n1")
+
+    _sample_sibling_series(cluster, report, hot_key, duration_ms, sample_every_ms)
+
+    config = ClosedLoopConfig(
+        keys=key_names,
+        think_time_ms=5.0,
+        write_fraction=0.6,
+        stale_write_fraction=stale_write_fraction,
+        zipf_s=zipf_s,
+        stop_at_ms=duration_ms,
+    )
+    run_closed_loop_workload(cluster, client_count=clients, config=config,
+                             base_seed=seed * 1000)
+    cluster.partitions.heal()
+    report.cluster = cluster
+    return _finish_churn_run(cluster, report, max_rounds=60)
+
+
 CHURN_SCENARIOS = {
     "elasticity": run_elasticity_scenario,
     "flappy_replica": run_flappy_replica_scenario,
     "sloppy_partition": run_sloppy_partition_scenario,
+    "hot_key": run_hot_key_scenario,
+    "multi_dc": run_multi_dc_scenario,
+    "soak": run_soak_scenario,
 }
 
 

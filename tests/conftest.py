@@ -32,6 +32,27 @@ from repro.kvstore import ClientSession, SyncReplicatedStore
 
 
 # --------------------------------------------------------------------------- #
+# Markers
+# --------------------------------------------------------------------------- #
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running churn+skew+partition soak scenarios "
+        "(deselected by default; run with -m soak)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep soak runs out of the tier-1 suite unless explicitly requested."""
+    if "soak" in (config.getoption("-m") or ""):
+        return
+    skip_soak = pytest.mark.skip(reason="soak test: run with -m soak")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
+
+
+# --------------------------------------------------------------------------- #
 # Mechanism fixtures
 # --------------------------------------------------------------------------- #
 EXACT_MECHANISMS = ["dvv", "dvvset", "client_vv", "dotted_vve", "causal_history"]

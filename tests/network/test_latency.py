@@ -104,3 +104,56 @@ class TestPerLinkLatency:
     def test_default_sample(self):
         model = PerLinkLatency(default=FixedLatency(2.0))
         assert model.sample(random.Random(0)) == 2.0
+
+
+class TestWanLatency:
+    def _topology(self):
+        from repro.cluster import Topology
+        return Topology({"n1": "east", "n2": "east", "n3": "west",
+                         "client:c0": "west"})
+
+    def test_intra_vs_cross_resolution(self):
+        from repro.network import WanLatency
+        model = WanLatency(self._topology(),
+                           intra=FixedLatency(0.5), cross=FixedLatency(20.0))
+        rng = random.Random(0)
+        assert model.for_link("n1", "n2").sample(rng) == 0.5
+        assert model.for_link("n1", "n3").sample(rng) == 20.0
+        assert model.for_link("n3", "n1").sample(rng) == 20.0
+        # pinned client addresses resolve through the topology too
+        assert model.for_link("client:c0", "n3").sample(rng) == 0.5
+        assert model.for_link("client:c0", "n1").sample(rng) == 20.0
+
+    def test_explicit_link_override_wins(self):
+        from repro.network import WanLatency
+        model = WanLatency(self._topology(),
+                           intra=FixedLatency(0.5), cross=FixedLatency(20.0))
+        model.set_link("n1", "n2", FixedLatency(99.0))
+        assert model.for_link("n1", "n2").sample(random.Random(0)) == 99.0
+        assert model.for_link("n1", "n3").sample(random.Random(0)) == 20.0
+
+    def test_default_models_are_wan_shaped(self):
+        from repro.network import WanLatency
+        model = WanLatency(self._topology())
+        rng = random.Random(7)
+        intra = [model.for_link("n1", "n2").sample(rng) for _ in range(50)]
+        cross = [model.for_link("n1", "n3").sample(rng) for _ in range(50)]
+        assert max(intra) < min(cross)  # WAN strictly slower than the fabric
+
+    def test_transport_routes_through_wan_model(self):
+        # The transport's PerLinkLatency special case applies to WanLatency.
+        from repro.cluster import Topology
+        from repro.network import Simulation, Transport, WanLatency
+        topology = Topology({"A": "east", "B": "east", "C": "west"})
+        sim = Simulation(seed=3)
+        transport = Transport(sim, latency=WanLatency(
+            topology, intra=FixedLatency(0.5), cross=FixedLatency(25.0)))
+        arrivals = {}
+        from repro.network import Message, MessageType
+        for node in ("A", "B", "C"):
+            transport.register(node, lambda m, node=node: arrivals.setdefault(node, sim.now))
+        transport.send(Message("A", "B", MessageType.PING, {}))
+        transport.send(Message("A", "C", MessageType.PING, {}))
+        sim.run_until_idle()
+        assert arrivals["B"] == pytest.approx(0.5)
+        assert arrivals["C"] == pytest.approx(25.0)

@@ -68,3 +68,47 @@ class TestLinks:
         snapshot = pm.describe()
         assert ["A"] in snapshot["groups"]
         assert ("C", "D") in snapshot["cut_links"]
+
+
+class TestDatacenterPartition:
+    def _topology(self):
+        from repro.cluster import Topology
+        return Topology({"n1": "east", "n2": "east", "n3": "west", "n4": "west",
+                         "client:c0": "east", "client:c1": "west"})
+
+    def test_partition_datacenters_cuts_only_wan_links(self):
+        from repro.network import PartitionManager
+        manager = PartitionManager()
+        manager.partition_datacenters(self._topology())
+        assert manager.can_communicate("n1", "n2")
+        assert manager.can_communicate("n3", "n4")
+        assert not manager.can_communicate("n1", "n3")
+        assert not manager.can_communicate("n4", "n2")
+
+    def test_pinned_clients_are_isolated_with_their_dc(self):
+        from repro.network import PartitionManager
+        manager = PartitionManager()
+        manager.partition_datacenters(self._topology())
+        assert manager.can_communicate("client:c0", "n1")
+        assert not manager.can_communicate("client:c0", "n3")
+        assert manager.can_communicate("client:c1", "n4")
+        assert not manager.can_communicate("client:c1", "n2")
+
+    def test_extras_join_their_group(self):
+        from repro.network import PartitionManager
+        manager = PartitionManager()
+        manager.partition_datacenters(self._topology(),
+                                      extras={"west": ["observer"]})
+        assert manager.can_communicate("observer", "n3")
+        assert not manager.can_communicate("observer", "n1")
+
+    def test_heal_restores_wan(self):
+        from repro.network import PartitionManager
+        manager = PartitionManager()
+        topology = self._topology()
+        manager.partition_datacenters(topology)
+        manager.heal()
+        assert manager.can_communicate("n1", "n3")
+        # flapping works: cut again after a heal
+        manager.partition_datacenters(topology)
+        assert not manager.can_communicate("n1", "n3")

@@ -29,6 +29,9 @@ from repro.kvstore import SimulatedCluster
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_cluster_stats.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
+MULTI_DC_GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_multi_dc_stats.json"
+MULTI_DC_GOLDEN = json.loads(MULTI_DC_GOLDEN_PATH.read_text())
+
 #: Stats added after the golden capture; they observe behavior that did not
 #: exist (or was not counted) then, so the golden scenario must keep them at
 #: zero — any other value means the run itself changed.
@@ -119,6 +122,57 @@ def test_simulator_matches_pre_refactor_golden_stats(scenario_key):
     for field in expected:
         assert actual[field] == expected[field], (
             f"{scenario_key}: {field} diverged from the pre-refactor capture")
+
+
+def multi_dc_snapshot(report) -> dict:
+    """The multi-DC scenario's footprint: cluster stats plus oracle verdict.
+
+    On top of the transport/stat numbers :func:`snapshot` pins, the multi-DC
+    fixture also freezes the scenario-level outcome — convergence, the
+    write-log oracle's verdict, the request split, and the WAN partition
+    window — so a change to DC-aware placement, WAN latency draws, per-DC
+    fallback ordering or seed plumbing shows up as a diff, not a flake.
+    """
+    base = snapshot(report.cluster)
+    base.update({
+        "converged": report.converged,
+        "convergence_rounds": report.convergence_rounds,
+        "requests_completed": report.requests_completed,
+        "requests_failed": report.requests_failed,
+        "lost_updates": report.lost_updates,
+        "false_concurrency": report.false_concurrency,
+        "datacenters": list(report.datacenters),
+        "partition_windows": [list(window) for window in report.partition_windows],
+    })
+    return base
+
+
+def run_multi_dc_golden(mechanism_name: str):
+    """The exact run the multi-DC fixture was captured from (seed pinned)."""
+    from repro.workloads import run_multi_dc_scenario
+    return run_multi_dc_scenario(create(mechanism_name), seed=23)
+
+
+@pytest.mark.parametrize("scenario_key", sorted(MULTI_DC_GOLDEN))
+def test_multi_dc_scenario_matches_golden_stats(scenario_key):
+    mechanism_name = scenario_key.split(":")[0]
+    report = run_multi_dc_golden(mechanism_name)
+    actual = multi_dc_snapshot(report)
+    expected = MULTI_DC_GOLDEN[scenario_key]
+    for field in expected:
+        assert actual[field] == expected[field], (
+            f"{scenario_key}: {field} diverged from the multi-DC capture")
+
+
+def test_multi_dc_golden_fixture_is_eventful():
+    """The fixture must prove the WAN partition actually bit."""
+    for scenario_key, expected in MULTI_DC_GOLDEN.items():
+        assert expected["converged"], scenario_key
+        assert expected["lost_updates"] == 0, scenario_key
+        assert expected["datacenters"] == ["east", "west"], scenario_key
+        # per-DC sloppy quorums held hints for the unreachable remote primaries
+        assert expected["stat_totals"]["hints_stored"] > 0, scenario_key
+        assert expected["requests_completed"] > 0, scenario_key
 
 
 def test_golden_fixture_is_eventful():
